@@ -1,0 +1,50 @@
+// Figure 10: effect of provenance granularity on POPACCU. Paper metrics:
+//   (Extractor, URL)              Dev .020 WDev .037 AUC .499
+//   (Extractor, Site)             Dev .023 WDev .042 AUC .514
+//   (Ext, Site, Pred)             Dev .017 WDev .033 AUC .525
+//   (Ext, Site, Pred, Pattern)    Dev .012 WDev .032 AUC .522
+#include "bench/bench_util.h"
+#include "eval/report.h"
+#include "fusion/engine.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 10", "provenance granularity (POPACCU)");
+
+  struct Row {
+    extract::Granularity granularity;
+    double paper_dev, paper_wdev, paper_auc;
+  };
+  Row rows[] = {
+      {extract::Granularity::ExtractorUrl(), .020, .037, .499},
+      {extract::Granularity::ExtractorSite(), .023, .042, .514},
+      {extract::Granularity::ExtractorSitePredicate(), .017, .033, .525},
+      {extract::Granularity::ExtractorSitePredicatePattern(), .012, .032,
+       .522},
+  };
+  TextTable table({"granularity", "#provenances", "Dev (paper)",
+                   "WDev (paper)", "AUC-PR (paper)"});
+  for (const Row& row : rows) {
+    fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
+    opts.granularity = row.granularity;
+    fusion::FusionEngine engine(w.corpus.dataset, opts);
+    auto result = engine.Run(&w.labels);
+    auto rep = eval::EvaluateModel(row.granularity.ToString(), result,
+                                   w.labels);
+    table.AddRow({row.granularity.ToString(),
+                  StrFormat("%zu", engine.num_provenances()),
+                  StrFormat("%.3f (%.3f)", rep.deviation, row.paper_dev),
+                  StrFormat("%.3f (%.3f)", rep.weighted_deviation,
+                            row.paper_wdev),
+                  StrFormat("%.3f (%.3f)", rep.auc_pr, row.paper_auc)});
+  }
+  table.Print();
+  bench::PrintNote(
+      "paper: finer (predicate/pattern) granularity improves calibration "
+      "and AUC on the Web-scale corpus; at this synthetic scale site-level "
+      "pooling is the strongest single effect because per-provenance "
+      "support is thousands of times smaller");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 16: distribution of predicted probabilities under POPACCU+.
+// Paper: >70% of triples below 0.1; ~10% above 0.9.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "fusion/engine.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 16",
+                     "distribution of predicted probabilities (POPACCU+)");
+  auto result = fusion::Fuse(w.corpus.dataset,
+                             fusion::FusionOptions::PopAccuPlus(), &w.labels);
+
+  std::array<uint64_t, 11> hist = {};
+  uint64_t total = 0;
+  for (size_t t = 0; t < result.probability.size(); ++t) {
+    if (!result.has_probability[t]) continue;
+    double p = result.probability[t];
+    size_t b = p >= 1.0 ? 10 : static_cast<size_t>(p * 10);
+    ++hist[b];
+    ++total;
+  }
+  TextTable table({"probability", "fraction of triples", "log10"});
+  for (size_t b = 0; b < hist.size(); ++b) {
+    double frac = total ? static_cast<double>(hist[b]) / total : 0;
+    table.AddRow({b == 10 ? "1.0" : StrFormat("[%.1f,%.1f)", 0.1 * b,
+                                              0.1 * (b + 1)),
+                  ToFixed(frac, 4),
+                  frac > 0 ? ToFixed(std::log10(frac), 2) : "-inf"});
+  }
+  table.Print();
+
+  double low = total ? static_cast<double>(hist[0]) / total : 0;
+  double high = total ? static_cast<double>(hist[9] + hist[10]) / total : 0;
+  std::printf("\ntriples with p < 0.1 : %s\n",
+              bench::PaperVsMeasured(0.70, low, 2).c_str());
+  std::printf("triples with p >= 0.9: %s\n",
+              bench::PaperVsMeasured(0.10, high, 2).c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 21: coverage and accuracy by extraction confidence for the four
+// representative extractors (TXT1, DOM2, TBL1, ANO). Paper: DOM2/ANO
+// assign bimodal confidences, TXT1 hugs 0.5; TXT1/DOM2 confidences are
+// informative, ANO's are not, TBL1's accuracy peaks at medium confidence.
+#include "bench/bench_util.h"
+#include "extract/corpus_stats.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 21", "coverage and accuracy by confidence");
+
+  const char* names[] = {"TXT1", "DOM2", "TBL1", "ANO"};
+  std::vector<extract::ExtractorId> ids;
+  for (const char* name : names) {
+    for (size_t e = 0; e < w.corpus.dataset.num_extractors(); ++e) {
+      if (w.corpus.dataset.extractors()[e].name == name) {
+        ids.push_back(static_cast<extract::ExtractorId>(e));
+      }
+    }
+  }
+  std::vector<extract::ConfidenceProfile> profiles;
+  for (auto id : ids) {
+    profiles.push_back(
+        extract::ComputeConfidenceProfile(w.corpus.dataset, w.labels, id));
+  }
+
+  std::printf("coverage by confidence bucket:\n");
+  TextTable cov({"confidence", "TXT1", "DOM2", "TBL1", "ANO"});
+  for (int b = 0; b < 10; ++b) {
+    std::vector<std::string> row = {
+        StrFormat("[%.1f,%.1f)", 0.1 * b, 0.1 * (b + 1))};
+    for (const auto& p : profiles) row.push_back(ToFixed(p.coverage[b], 3));
+    cov.AddRow(std::move(row));
+  }
+  cov.Print();
+
+  std::printf("\naccuracy by confidence bucket:\n");
+  TextTable acc({"confidence", "TXT1", "DOM2", "TBL1", "ANO"});
+  for (int b = 0; b < 10; ++b) {
+    std::vector<std::string> row = {
+        StrFormat("[%.1f,%.1f)", 0.1 * b, 0.1 * (b + 1))};
+    for (const auto& p : profiles) {
+      row.push_back(p.count[b] >= 10 ? ToFixed(p.accuracy[b], 3) : "-");
+    }
+    acc.AddRow(std::move(row));
+  }
+  acc.Print();
+
+  // Shape checks.
+  auto informative = [](const extract::ConfidenceProfile& p) {
+    return p.accuracy[9] > p.accuracy[0] + 0.1;
+  };
+  std::printf("\nTXT1 confidence informative : %s (paper: yes)\n",
+              informative(profiles[0]) ? "yes" : "no");
+  std::printf("DOM2 confidence informative : %s (paper: yes)\n",
+              informative(profiles[1]) ? "yes" : "no");
+  std::printf("ANO confidence informative  : %s (paper: no)\n",
+              informative(profiles[3]) ? "yes" : "no");
+  double mid = profiles[2].accuracy[4] + profiles[2].accuracy[5];
+  double ends = profiles[2].accuracy[0] + profiles[2].accuracy[9];
+  std::printf("TBL1 accuracy peaks mid-confidence : %s (paper: yes)\n",
+              mid > ends ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4: distribution of per-predicate extraction accuracy. The paper:
+// 44% of predicates below 0.3 accuracy, 13% above 0.7.
+#include "bench/bench_util.h"
+#include "extract/corpus_stats.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 4", "distribution of predicate accuracy");
+  auto hist = extract::PredicateAccuracyHistogram(w.corpus.dataset, w.labels,
+                                                  /*min_labeled=*/20,
+                                                  /*num_buckets=*/10);
+  TextTable table({"accuracy bucket", "fraction of predicates"});
+  for (size_t b = 0; b < hist.size(); ++b) {
+    std::string bucket = b + 1 == hist.size()
+                             ? "1.0"
+                             : StrFormat("[%.1f,%.1f)", 0.1 * b,
+                                         0.1 * (b + 1));
+    table.AddRow({bucket, ToFixed(hist[b], 3)});
+  }
+  table.Print();
+
+  double below_03 = hist[0] + hist[1] + hist[2];
+  double above_07 = hist[7] + hist[8] + hist[9] + hist[10];
+  std::printf("\npredicates with accuracy < 0.3: %s\n",
+              bench::PaperVsMeasured(0.44, below_03, 2).c_str());
+  std::printf("predicates with accuracy > 0.7: %s\n",
+              bench::PaperVsMeasured(0.13, above_07, 2).c_str());
+  return 0;
+}

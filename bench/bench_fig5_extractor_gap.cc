@@ -1,0 +1,29 @@
+// Figure 5: per-page gap between the best and the worst extractor accuracy
+// (pages where >= 2 extractors each contribute >= 5 labeled triples).
+// Paper: mean gap 0.32; gap > 0.5 for 21% of pages.
+#include "bench/bench_util.h"
+#include "extract/corpus_stats.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 5",
+                     "best-vs-worst extractor accuracy gap per page");
+  auto gap = extract::ExtractorGapHistogram(w.corpus.dataset, w.labels,
+                                            /*min_triples=*/5);
+  const char* buckets[] = {"0", "(0,.1]", "(.1,.2]", "(.2,.3]",
+                           "(.3,.4]", "(.4,.5]", ">.5"};
+  TextTable table({"accuracy gap", "fraction of pages"});
+  for (size_t b = 0; b < gap.fraction.size(); ++b) {
+    table.AddRow({buckets[b], ToFixed(gap.fraction[b], 3)});
+  }
+  table.Print();
+  std::printf("\npages measured: %llu\n",
+              (unsigned long long)gap.num_pages);
+  std::printf("mean gap:        %s\n",
+              bench::PaperVsMeasured(0.32, gap.mean_gap, 2).c_str());
+  std::printf("gap > 0.5:       %s\n",
+              bench::PaperVsMeasured(0.21, gap.frac_above_half, 2).c_str());
+  return 0;
+}

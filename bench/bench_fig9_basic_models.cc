@@ -1,0 +1,63 @@
+// Figure 9: calibration of the three basic fusion models (plus the
+// only-extractor and only-URL provenance variants). Paper metrics:
+//   VOTE    Dev .047  WDev .061  AUC-PR .489
+//   ACCU    Dev .033  WDev .042  AUC-PR .524
+//   POPACCU Dev .020  WDev .037  AUC-PR .499
+//   POPACCU (only ext) WDev .052 AUC .589 ; (only src) WDev .039 AUC .528
+#include "bench/bench_util.h"
+#include "eval/report.h"
+#include "fusion/engine.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Figure 9", "calibration of the basic fusion models");
+
+  struct Row {
+    const char* name;
+    fusion::FusionOptions options;
+    double paper_dev, paper_wdev, paper_auc;
+  };
+  fusion::FusionOptions only_ext = fusion::FusionOptions::PopAccu();
+  only_ext.granularity = extract::Granularity::OnlyExtractorPattern();
+  fusion::FusionOptions only_src = fusion::FusionOptions::PopAccu();
+  only_src.granularity = extract::Granularity::OnlyUrl();
+  Row rows[] = {
+      {"VOTE", fusion::FusionOptions::Vote(), .047, .061, .489},
+      {"ACCU", fusion::FusionOptions::Accu(), .033, .042, .524},
+      {"POPACCU", fusion::FusionOptions::PopAccu(), .020, .037, .499},
+      {"POPACCU (only ext)", only_ext, .049, .052, .589},
+      {"POPACCU (only src)", only_src, .024, .039, .528},
+  };
+
+  TextTable table({"model", "Dev (paper)", "WDev (paper)", "AUC-PR (paper)"});
+  std::vector<eval::ModelReport> reports;
+  for (const Row& row : rows) {
+    auto result = fusion::Fuse(w.corpus.dataset, row.options, &w.labels);
+    auto rep = eval::EvaluateModel(row.name, result, w.labels);
+    reports.push_back(rep);
+    table.AddRow({row.name,
+                  StrFormat("%.3f (%.3f)", rep.deviation, row.paper_dev),
+                  StrFormat("%.3f (%.3f)", rep.weighted_deviation,
+                            row.paper_wdev),
+                  StrFormat("%.3f (%.3f)", rep.auc_pr, row.paper_auc)});
+  }
+  table.Print();
+
+  std::printf("\ncalibration curve, POPACCU (predicted vs real):\n%s",
+              eval::RenderCalibration(reports[2].calibration).c_str());
+  std::printf(
+      "\nshape checks (paper): POPACCU WDev < ACCU WDev < VOTE WDev : "
+      "%s\n",
+      reports[2].weighted_deviation < reports[1].weighted_deviation &&
+              reports[1].weighted_deviation < reports[0].weighted_deviation
+          ? "HOLDS"
+          : "DIFFERS");
+  std::printf("ACCU has the best AUC-PR of the three basics : %s\n",
+              reports[1].auc_pr >= reports[0].auc_pr &&
+                      reports[1].auc_pr >= reports[2].auc_pr
+                  ? "HOLDS"
+                  : "DIFFERS");
+  return 0;
+}

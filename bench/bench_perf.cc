@@ -1,0 +1,118 @@
+// Performance microbenchmarks (google-benchmark): MapReduce engine
+// scaling, claim construction, and end-to-end fusion throughput across
+// corpus scales and worker counts. The paper's Section 4.1 motivation:
+// the pipeline must scale out and bound per-reducer work via sampling.
+#include <benchmark/benchmark.h>
+
+#include "eval/gold_standard.h"
+#include "fusion/claims.h"
+#include "fusion/engine.h"
+#include "mr/mapreduce.h"
+#include "synth/corpus.h"
+
+namespace {
+
+using namespace kf;
+
+const synth::SynthCorpus& CorpusAtScale(double scale) {
+  static std::map<double, std::unique_ptr<synth::SynthCorpus>>& cache =
+      *new std::map<double, std::unique_ptr<synth::SynthCorpus>>();
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    synth::SynthConfig config = synth::SynthConfig().Scaled(scale);
+    it = cache
+             .emplace(scale, std::make_unique<synth::SynthCorpus>(
+                                 synth::GenerateCorpus(config)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_MapReduceWordHistogram(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  std::vector<uint32_t> inputs(n);
+  Rng rng(7);
+  for (auto& x : inputs) x = static_cast<uint32_t>(rng.NextBelow(65536));
+  mr::Options opts;
+  opts.num_workers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = mr::Job<uint32_t, uint32_t, uint32_t, uint64_t>::Run(
+        inputs,
+        [](const uint32_t& x,
+           const std::function<void(const uint32_t&, uint32_t)>& emit) {
+          emit(x % 4096, 1);
+        },
+        [](const uint32_t&, std::vector<uint32_t>& values,
+           const std::function<void(uint64_t)>& emit) {
+          uint64_t sum = 0;
+          for (uint32_t v : values) sum += v;
+          emit(sum);
+        },
+        opts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_MapReduceWordHistogram)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BuildClaims(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  for (auto _ : state) {
+    auto set = fusion::BuildClaimSet(
+        corpus.dataset, extract::Granularity::ExtractorUrl());
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_records());
+}
+BENCHMARK(BM_BuildClaims);
+
+void BM_FusePopAccu(benchmark::State& state) {
+  double scale = state.range(0) / 4.0;
+  const auto& corpus = CorpusAtScale(scale);
+  fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
+  opts.num_workers = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto result = fusion::Fuse(corpus.dataset, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_records());
+  state.counters["records"] =
+      static_cast<double>(corpus.dataset.num_records());
+}
+BENCHMARK(BM_FusePopAccu)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({4, 24})
+    ->Args({16, 24})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FuseVote(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  fusion::FusionOptions opts = fusion::FusionOptions::Vote();
+  for (auto _ : state) {
+    auto result = fusion::Fuse(corpus.dataset, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_records());
+}
+BENCHMARK(BM_FuseVote)->Unit(benchmark::kMillisecond);
+
+void BM_GoldStandard(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  for (auto _ : state) {
+    auto labels = eval::BuildGoldStandard(corpus.dataset, corpus.freebase);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_triples());
+}
+BENCHMARK(BM_GoldStandard);
+
+}  // namespace
+
+BENCHMARK_MAIN();

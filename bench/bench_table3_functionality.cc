@@ -1,0 +1,66 @@
+// Table 3: share and accuracy of functional vs non-functional predicates —
+// the motivation for Section 5.3 (multi-truth fusion).
+#include <array>
+
+#include "bench/bench_util.h"
+
+using namespace kf;
+
+int main() {
+  const auto& w = bench::GetWorkload();
+  bench::PrintHeader("Table 3",
+                     "functional vs non-functional predicates");
+  const auto& dataset = w.corpus.dataset;
+  const auto& ontology = w.corpus.world.ontology;
+
+  // index 0 = functional, 1 = non-functional
+  std::array<uint64_t, 2> preds = {0, 0};
+  std::array<uint64_t, 2> items = {0, 0};
+  std::array<uint64_t, 2> triples = {0, 0};
+  std::array<uint64_t, 2> labeled = {0, 0};
+  std::array<uint64_t, 2> correct = {0, 0};
+
+  std::vector<uint8_t> pred_seen(ontology.num_predicates(), 0);
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    const kb::DataItem& item = dataset.item(dataset.triple(t).item);
+    size_t f = ontology.predicate(item.predicate).functional ? 0 : 1;
+    ++triples[f];
+    pred_seen[item.predicate] = 1;
+    if (w.labels[t] != Label::kUnknown) {
+      ++labeled[f];
+      if (w.labels[t] == Label::kTrue) ++correct[f];
+    }
+  }
+  for (kb::DataItemId i = 0; i < dataset.num_items(); ++i) {
+    size_t f = ontology.predicate(dataset.item(i).predicate).functional ? 0
+                                                                        : 1;
+    ++items[f];
+  }
+  for (kb::PredicateId p = 0; p < ontology.num_predicates(); ++p) {
+    if (pred_seen[p]) ++preds[ontology.predicate(p).functional ? 0 : 1];
+  }
+
+  double total_preds = static_cast<double>(preds[0] + preds[1]);
+  double total_items = static_cast<double>(items[0] + items[1]);
+  double total_triples = static_cast<double>(triples[0] + triples[1]);
+  TextTable table({"type", "predicates (paper)", "data items (paper)",
+                   "triples (paper)", "accuracy (paper)"});
+  auto pct = [](uint64_t n, double total) {
+    return total > 0 ? StrFormat("%.0f%%", 100.0 * n / total)
+                     : std::string("0%");
+  };
+  table.AddRow({"Functional",
+                pct(preds[0], total_preds) + " (28%)",
+                pct(items[0], total_items) + " (24%)",
+                pct(triples[0], total_triples) + " (32%)",
+                StrFormat("%.2f (0.18)",
+                          labeled[0] ? double(correct[0]) / labeled[0] : 0)});
+  table.AddRow({"Non-functional",
+                pct(preds[1], total_preds) + " (72%)",
+                pct(items[1], total_items) + " (76%)",
+                pct(triples[1], total_triples) + " (68%)",
+                StrFormat("%.2f (0.25)",
+                          labeled[1] ? double(correct[1]) / labeled[1] : 0)});
+  table.Print();
+  return 0;
+}

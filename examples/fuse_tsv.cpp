@@ -1,0 +1,117 @@
+// Command-line fusion over a TSV of extractions:
+//
+//   ./fuse_tsv INPUT.tsv [OUTPUT.tsv] [--method=vote|accu|popaccu]
+//              [--granularity=url|site|site_pred|site_pred_pattern]
+//              [--theta=0.25] [--filter-by-coverage]
+//
+// Input columns: subject predicate object extractor url [confidence]
+// Output columns: subject predicate object probability
+// With no INPUT, runs on a built-in demo corpus.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "extract/tsv_io.h"
+#include "fusion/engine.h"
+
+using namespace kf;
+
+namespace {
+
+constexpr const char* kDemo =
+    "TomCruise\tbirth_date\t1962-07-03\tdom\thttps://en.wikipedia.org/tc\t0.95\n"
+    "TomCruise\tbirth_date\t1962-07-03\ttxt\thttps://www.imdb.com/tc\t0.80\n"
+    "TomCruise\tbirth_date\t1962-07-03\tano\thttps://m.fandango.com/tc\t0.70\n"
+    "TomCruise\tbirth_date\t1963-07-03\ttxt\thttps://fansite.example.com/tc\t0.40\n"
+    "TopGun\trelease_year\t1986\ttbl\thttps://en.wikipedia.org/tg\t0.90\n"
+    "TopGun\trelease_year\t1996\ttbl\thttps://badmoviedb.example.com/tg\t0.30\n";
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fuse_tsv [INPUT.tsv] [OUTPUT.tsv] "
+               "[--method=vote|accu|popaccu]\n"
+               "                [--granularity=url|site|site_pred|"
+               "site_pred_pattern]\n"
+               "                [--theta=X] [--filter-by-coverage]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  fusion::FusionOptions options = fusion::FusionOptions::PopAccu();
+  options.granularity = extract::Granularity::ExtractorSite();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--method=")) {
+      std::string m = arg.substr(9);
+      if (m == "vote") {
+        options.method = fusion::Method::kVote;
+      } else if (m == "accu") {
+        options.method = fusion::Method::kAccu;
+      } else if (m == "popaccu") {
+        options.method = fusion::Method::kPopAccu;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--granularity=")) {
+      std::string g = arg.substr(14);
+      if (g == "url") {
+        options.granularity = extract::Granularity::ExtractorUrl();
+      } else if (g == "site") {
+        options.granularity = extract::Granularity::ExtractorSite();
+      } else if (g == "site_pred") {
+        options.granularity = extract::Granularity::ExtractorSitePredicate();
+      } else if (g == "site_pred_pattern") {
+        options.granularity =
+            extract::Granularity::ExtractorSitePredicatePattern();
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (StartsWith(arg, "--theta=")) {
+      options.min_provenance_accuracy = std::atof(arg.c_str() + 8);
+    } else if (arg == "--filter-by-coverage") {
+      options.filter_by_coverage = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (input.empty()) {
+      input = arg;
+    } else if (output.empty()) {
+      output = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  Result<extract::TsvCorpus> corpus =
+      input.empty() ? extract::ReadExtractionsTsv(kDemo)
+                    : extract::ReadExtractionsTsvFile(input);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu records -> %zu unique triples, fusing with %s\n",
+               corpus->dataset.num_records(), corpus->dataset.num_triples(),
+               options.ToString().c_str());
+
+  fusion::FusionResult result = fusion::Fuse(corpus->dataset, options);
+  std::string tsv = extract::WriteResultsTsv(*corpus, result.probability,
+                                             result.has_probability);
+  if (output.empty()) {
+    std::fwrite(tsv.data(), 1, tsv.size(), stdout);
+  } else {
+    Status status = extract::WriteFile(output, tsv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// String interning: maps strings to dense uint32 ids and back. The fusion
+// pipeline works exclusively on interned ids; strings only appear at the
+// boundaries (corpus generation, reporting).
+#ifndef KF_COMMON_INTERNER_H_
+#define KF_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kf {
+
+class StringInterner {
+ public:
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  StringInterner() = default;
+  // Non-copyable: ids would silently diverge between copies.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    // std::deque gives stable references, so the string_view keys into
+    // index_ remain valid as the pool grows.
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s`, or kInvalidId when absent.
+  uint32_t Find(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidId : it->second;
+  }
+
+  /// Resolves an id back to the interned string.
+  const std::string& Get(uint32_t id) const {
+    KF_DCHECK(id < strings_.size());
+    return strings_[id];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t, Hash, Eq> index_;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_INTERNER_H_

@@ -1,0 +1,18 @@
+// Gold-standard label of a unique triple under the local closed-world
+// assumption (Section 3.2.1).
+#ifndef KF_COMMON_LABEL_H_
+#define KF_COMMON_LABEL_H_
+
+#include <cstdint>
+
+namespace kf {
+
+enum class Label : uint8_t {
+  kUnknown = 0,  // data item absent from the reference KB: abstain
+  kTrue = 1,     // triple present in the reference KB
+  kFalse = 2,    // data item present but triple absent
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_LABEL_H_

@@ -1,0 +1,45 @@
+// Check macros for programmer errors. These abort; recoverable errors use
+// Status/Result (status.h) instead.
+#ifndef KF_COMMON_LOGGING_H_
+#define KF_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kf::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "KF_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace kf::internal
+
+#define KF_CHECK(cond)                                        \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::kf::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                         \
+  } while (false)
+
+#define KF_CHECK_OK(expr)                                               \
+  do {                                                                  \
+    ::kf::Status _kf_check_status = (expr);                             \
+    if (!_kf_check_status.ok()) {                                       \
+      std::fprintf(stderr, "KF_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__,                                  \
+                   _kf_check_status.ToString().c_str());                \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define KF_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define KF_DCHECK(cond) KF_CHECK(cond)
+#endif
+
+#endif  // KF_COMMON_LOGGING_H_

@@ -1,0 +1,86 @@
+// Deterministic random number generation for the synthetic corpus and the
+// fusion engine. All randomness in the library flows through Rng so that a
+// fixed seed reproduces a corpus bit-for-bit.
+#ifndef KF_COMMON_RANDOM_H_
+#define KF_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kf {
+
+/// xoshiro256** seeded via SplitMix64. Not cryptographic; fast and with
+/// well-understood statistical quality.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Derives an independent child generator; stable given (seed path, tag).
+  Rng Fork(uint64_t tag) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples indices in [0, n) with probability proportional to 1/(i+1)^s.
+/// Used to produce the heavy-head / long-tail distributions of Section 3.1.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Samples an index with probability proportional to the given weights.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_RANDOM_H_

@@ -1,0 +1,102 @@
+// Status / Result<T>: exception-free error handling in the Arrow/RocksDB
+// idiom. Library code returns Status (or Result<T>) for all fallible
+// operations; KF_CHECK (logging.h) is reserved for programmer errors.
+#ifndef KF_COMMON_STATUS_H_
+#define KF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kf {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIOError = 6,
+};
+
+/// A success-or-error outcome carrying a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programmer error (checked in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define KF_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::kf::Status _kf_status = (expr);         \
+    if (!_kf_status.ok()) return _kf_status;  \
+  } while (false)
+
+}  // namespace kf
+
+#endif  // KF_COMMON_STATUS_H_

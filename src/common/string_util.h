@@ -1,0 +1,36 @@
+// String helpers shared across the library: URL handling, splitting, and
+// printf-style formatting into std::string.
+#ifndef KF_COMMON_STRING_UTIL_H_
+#define KF_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kf {
+
+/// Extracts the Website prefix of a URL: everything up to (excluding) the
+/// first '/' after the scheme, per Section 4.3.1 of the paper
+/// ("en.wikipedia.org/wiki/Data_fusion" -> "en.wikipedia.org").
+std::string SiteOfUrl(std::string_view url);
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders `value` with `digits` digits after the decimal point.
+std::string ToFixed(double value, int digits);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace kf
+
+#endif  // KF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+// Fixed-width text table used by the bench binaries to print paper-style
+// tables (paper value vs measured value side by side).
+#ifndef KF_COMMON_TABLE_H_
+#define KF_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_TABLE_H_

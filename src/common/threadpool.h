@@ -1,0 +1,52 @@
+// A fixed-size worker pool plus a deterministic ParallelFor. The MapReduce
+// engine (mr/mapreduce.h) builds on ParallelFor.
+#ifndef KF_COMMON_THREADPOOL_H_
+#define KF_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kf {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on up to `num_threads` threads. Blocks until
+/// complete. Work is handed out in contiguous chunks for cache friendliness.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace kf
+
+#endif  // KF_COMMON_THREADPOOL_H_

@@ -1,0 +1,79 @@
+#include "eval/calibration.h"
+
+#include "common/logging.h"
+
+namespace kf::eval {
+
+CalibrationCurve ComputeCalibration(const std::vector<double>& probability,
+                                    const std::vector<uint8_t>& has_probability,
+                                    const std::vector<Label>& labels, int l) {
+  KF_CHECK(l > 0);
+  KF_CHECK(probability.size() == labels.size());
+  KF_CHECK(has_probability.size() == labels.size());
+  const size_t buckets = static_cast<size_t>(l) + 1;
+  CalibrationCurve curve;
+  curve.predicted.assign(buckets, 0.0);
+  curve.real.assign(buckets, 0.0);
+  curve.count.assign(buckets, 0);
+  std::vector<double> pred_sum(buckets, 0.0);
+  std::vector<uint64_t> true_count(buckets, 0);
+
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == Label::kUnknown || !has_probability[t]) continue;
+    double p = probability[t];
+    size_t b;
+    if (p >= 1.0) {
+      b = buckets - 1;  // the dedicated p == 1 bucket
+    } else {
+      if (p < 0.0) p = 0.0;
+      b = static_cast<size_t>(p * l);
+      if (b >= static_cast<size_t>(l)) b = static_cast<size_t>(l) - 1;
+    }
+    ++curve.count[b];
+    pred_sum[b] += p;
+    if (labels[t] == Label::kTrue) ++true_count[b];
+  }
+
+  uint64_t total = 0;
+  double dev_sum = 0.0;
+  double wdev_sum = 0.0;
+  size_t non_empty = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    if (curve.count[b] == 0) continue;
+    ++non_empty;
+    total += curve.count[b];
+    curve.predicted[b] = pred_sum[b] / static_cast<double>(curve.count[b]);
+    curve.real[b] = static_cast<double>(true_count[b]) /
+                    static_cast<double>(curve.count[b]);
+    double gap = curve.predicted[b] - curve.real[b];
+    dev_sum += gap * gap;
+    wdev_sum += gap * gap * static_cast<double>(curve.count[b]);
+  }
+  if (non_empty > 0) {
+    curve.deviation = dev_sum / static_cast<double>(non_empty);
+  }
+  if (total > 0) {
+    curve.weighted_deviation = wdev_sum / static_cast<double>(total);
+  }
+  return curve;
+}
+
+double RealAccuracyInRange(const std::vector<double>& probability,
+                           const std::vector<uint8_t>& has_probability,
+                           const std::vector<Label>& labels, double lo,
+                           double hi) {
+  uint64_t labeled = 0;
+  uint64_t correct = 0;
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == Label::kUnknown || !has_probability[t]) continue;
+    double p = probability[t];
+    if (p < lo || p >= hi) continue;
+    ++labeled;
+    if (labels[t] == Label::kTrue) ++correct;
+  }
+  return labeled == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(labeled);
+}
+
+}  // namespace kf::eval

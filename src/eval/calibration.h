@@ -1,0 +1,47 @@
+// Calibration measurement (Section 4.2): triples are bucketed by predicted
+// probability (l buckets of width 1/l plus a bucket for exactly 1.0); the
+// real probability of a bucket is the fraction of its gold-labeled triples
+// that are true. Deviation is the mean square gap between predicted and
+// real per bucket; weighted deviation weighs buckets by triple count.
+#ifndef KF_EVAL_CALIBRATION_H_
+#define KF_EVAL_CALIBRATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/label.h"
+
+namespace kf::eval {
+
+struct CalibrationCurve {
+  /// Mean predicted probability of the triples in each bucket.
+  std::vector<double> predicted;
+  /// Fraction of labeled triples in the bucket that are true.
+  std::vector<double> real;
+  /// Labeled triples per bucket.
+  std::vector<uint64_t> count;
+
+  double deviation = 0.0;
+  double weighted_deviation = 0.0;
+
+  size_t num_buckets() const { return predicted.size(); }
+};
+
+/// Computes the calibration curve over gold-labeled triples that received a
+/// probability. `l` is the number of equal-width buckets (paper: 20).
+CalibrationCurve ComputeCalibration(const std::vector<double>& probability,
+                                    const std::vector<uint8_t>& has_probability,
+                                    const std::vector<Label>& labels,
+                                    int l = 20);
+
+/// Fraction of labeled triples with predicted probability in [lo, hi) that
+/// are true (used for spot checks like "predicted >= 0.9 -> real 0.94").
+double RealAccuracyInRange(const std::vector<double>& probability,
+                           const std::vector<uint8_t>& has_probability,
+                           const std::vector<Label>& labels, double lo,
+                           double hi);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_CALIBRATION_H_

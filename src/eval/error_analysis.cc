@@ -1,0 +1,124 @@
+#include "eval/error_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace kf::eval {
+namespace {
+
+// Dominant extraction-error class among the records of a triple.
+extract::ErrorClass DominantError(
+    const std::unordered_map<kb::TripleId, std::array<uint32_t, 7>>& by_class,
+    kb::TripleId t) {
+  auto it = by_class.find(t);
+  if (it == by_class.end()) return extract::ErrorClass::kNone;
+  const auto& counts = it->second;
+  size_t best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return static_cast<extract::ErrorClass>(best);
+}
+
+}  // namespace
+
+ErrorBreakdown AnalyzeErrors(const synth::SynthCorpus& corpus,
+                             const std::vector<Label>& labels,
+                             const fusion::FusionResult& result,
+                             double prob_hi, double prob_lo,
+                             size_t sample_size, uint64_t seed) {
+  const extract::ExtractionDataset& dataset = corpus.dataset;
+  // Error-class histogram per triple from the record-level ground truth.
+  std::unordered_map<kb::TripleId, std::array<uint32_t, 7>> by_class;
+  for (const extract::ExtractionRecord& r : dataset.records()) {
+    auto& counts = by_class[r.triple];
+    ++counts[static_cast<size_t>(r.error)];
+  }
+  // Number of gold-true triples per data item (multi-truth detection).
+  std::vector<uint32_t> item_truths(dataset.num_items(), 0);
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (labels[t] == Label::kTrue) ++item_truths[dataset.triple(t).item];
+  }
+
+  std::vector<kb::TripleId> fps;
+  std::vector<kb::TripleId> fns;
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (!result.has_probability[t] || labels[t] == Label::kUnknown) continue;
+    double p = result.probability[t];
+    if (labels[t] == Label::kFalse && p >= prob_hi) fps.push_back(t);
+    if (labels[t] == Label::kTrue && p <= prob_lo) fns.push_back(t);
+  }
+  Rng rng(seed);
+  rng.Shuffle(&fps);
+  rng.Shuffle(&fns);
+  if (fps.size() > sample_size) fps.resize(sample_size);
+  if (fns.size() > sample_size) fns.resize(sample_size);
+
+  ErrorBreakdown out;
+
+  for (kb::TripleId t : fps) {
+    ++out.fp.total;
+    const extract::TripleInfo& info = dataset.triple(t);
+    const kb::DataItem& item = dataset.item(info.item);
+    if (info.true_in_world || info.hierarchy_true) {
+      // The fusion decision is actually right; the gold standard is the
+      // problem. Distinguish the Fig. 17 sub-cases.
+      bool kb_has_wrong_value = false;
+      for (kb::ValueId v : corpus.freebase.Values(item)) {
+        if (!corpus.world.truth.Contains(item, v) &&
+            !corpus.world.HierarchyTrue(item, v)) {
+          kb_has_wrong_value = true;
+        }
+      }
+      if (kb_has_wrong_value) {
+        ++out.fp.wrong_value_in_kb;
+        continue;
+      }
+      ++out.fp.closed_world_assumption;
+      if (info.true_in_world) {
+        ++out.fp.lcwa_additional_value;
+      } else {
+        // Hierarchy-compatible: decide which side of the truth it sits on.
+        bool more_specific = false;
+        for (kb::ValueId truth : corpus.world.truth.Values(item)) {
+          if (corpus.world.hierarchy.IsAncestorOf(truth, info.object)) {
+            more_specific = true;
+          }
+        }
+        if (more_specific) {
+          ++out.fp.lcwa_specific_value;
+        } else {
+          ++out.fp.lcwa_general_value;
+        }
+      }
+      continue;
+    }
+    // A genuine error: attribute it to the dominant record-level cause.
+    extract::ErrorClass cause = DominantError(by_class, t);
+    if (cause == extract::ErrorClass::kSourceError) {
+      ++out.fp.source_claim;
+    } else {
+      ++out.fp.common_extraction_error;
+    }
+  }
+
+  for (kb::TripleId t : fns) {
+    ++out.fn.total;
+    const extract::TripleInfo& info = dataset.triple(t);
+    const kb::DataItem& item = dataset.item(info.item);
+    const kb::PredicateInfo& pred =
+        corpus.world.ontology.predicate(item.predicate);
+    if (item_truths[info.item] >= 2) {
+      ++out.fn.multiple_truths;
+    } else if (pred.hierarchical_values) {
+      ++out.fn.specific_general_value;
+    } else {
+      ++out.fn.other;
+    }
+  }
+  return out;
+}
+
+}  // namespace kf::eval

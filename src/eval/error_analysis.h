@@ -1,0 +1,55 @@
+// Programmatic reproduction of the paper's manual error analysis (Section
+// 4.4 / Fig. 17). The synthetic corpus knows why every extraction deviates
+// from the gold standard, so sampled false positives / false negatives can
+// be categorized automatically into the paper's cause classes.
+#ifndef KF_EVAL_ERROR_ANALYSIS_H_
+#define KF_EVAL_ERROR_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/label.h"
+#include "fusion/engine.h"
+#include "synth/corpus.h"
+
+namespace kf::eval {
+
+/// Fig. 17 categories for sampled false positives (predicted ~1.0, gold
+/// says false).
+struct FalsePositiveBreakdown {
+  uint64_t common_extraction_error = 0;  // genuine extraction mistakes
+  uint64_t closed_world_assumption = 0;  // actually correct; LCWA artifact
+  uint64_t lcwa_additional_value = 0;    //   - correct value missing in KB
+  uint64_t lcwa_specific_value = 0;      //   - more specific than KB value
+  uint64_t lcwa_general_value = 0;       //   - more general than KB value
+  uint64_t wrong_value_in_kb = 0;        // reference KB itself is wrong
+  uint64_t source_claim = 0;             // source genuinely claimed it
+  uint64_t total = 0;
+};
+
+/// Fig. 17 categories for sampled false negatives (predicted ~0.0, gold
+/// says true).
+struct FalseNegativeBreakdown {
+  uint64_t multiple_truths = 0;        // single-truth assumption artifact
+  uint64_t specific_general_value = 0; // hierarchical value split the mass
+  uint64_t other = 0;                  // e.g. buried by popular false values
+  uint64_t total = 0;
+};
+
+struct ErrorBreakdown {
+  FalsePositiveBreakdown fp;
+  FalseNegativeBreakdown fn;
+};
+
+/// Samples up to `sample_size` false positives with predicted probability
+/// >= prob_hi and as many false negatives with probability <= prob_lo, and
+/// categorizes each.
+ErrorBreakdown AnalyzeErrors(const synth::SynthCorpus& corpus,
+                             const std::vector<Label>& labels,
+                             const fusion::FusionResult& result,
+                             double prob_hi, double prob_lo,
+                             size_t sample_size, uint64_t seed);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_ERROR_ANALYSIS_H_

@@ -1,0 +1,43 @@
+#include "eval/gold_standard.h"
+
+namespace kf::eval {
+
+std::vector<Label> BuildGoldStandard(const extract::ExtractionDataset& dataset,
+                                     const kb::KnowledgeBase& reference) {
+  std::vector<Label> labels(dataset.num_triples(), Label::kUnknown);
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    const extract::TripleInfo& info = dataset.triple(t);
+    const kb::DataItem& item = dataset.item(info.item);
+    if (reference.Contains(item, info.object)) {
+      labels[t] = Label::kTrue;
+    } else if (reference.HasItem(item)) {
+      labels[t] = Label::kFalse;
+    }
+  }
+  return labels;
+}
+
+GoldStats SummarizeGold(const std::vector<Label>& labels) {
+  GoldStats s;
+  s.num_triples = labels.size();
+  for (Label l : labels) {
+    if (l == Label::kUnknown) continue;
+    ++s.num_labeled;
+    if (l == Label::kTrue) {
+      ++s.num_true;
+    } else {
+      ++s.num_false;
+    }
+  }
+  if (s.num_labeled > 0) {
+    s.accuracy = static_cast<double>(s.num_true) /
+                 static_cast<double>(s.num_labeled);
+  }
+  if (s.num_triples > 0) {
+    s.labeled_fraction = static_cast<double>(s.num_labeled) /
+                         static_cast<double>(s.num_triples);
+  }
+  return s;
+}
+
+}  // namespace kf::eval

@@ -1,0 +1,36 @@
+// Gold-standard construction under the local closed-world assumption
+// (Section 3.2.1): a triple present in the reference KB is true; a triple
+// whose data item is present but whose value is not is false; triples of
+// unknown data items are excluded from the gold standard.
+#ifndef KF_EVAL_GOLD_STANDARD_H_
+#define KF_EVAL_GOLD_STANDARD_H_
+
+#include <vector>
+
+#include "common/label.h"
+#include "extract/dataset.h"
+#include "kb/knowledge_base.h"
+
+namespace kf::eval {
+
+/// Labels every unique triple of `dataset` against `reference` under LCWA.
+std::vector<Label> BuildGoldStandard(const extract::ExtractionDataset& dataset,
+                                     const kb::KnowledgeBase& reference);
+
+struct GoldStats {
+  size_t num_triples = 0;
+  size_t num_labeled = 0;
+  size_t num_true = 0;
+  size_t num_false = 0;
+  /// Fraction of labeled triples that are true — the paper's estimate of
+  /// overall extraction accuracy (~30% in Section 3.2.1).
+  double accuracy = 0.0;
+  /// Fraction of triples that received a label (~40% in the paper).
+  double labeled_fraction = 0.0;
+};
+
+GoldStats SummarizeGold(const std::vector<Label>& labels);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_GOLD_STANDARD_H_

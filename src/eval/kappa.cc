@@ -1,0 +1,51 @@
+#include "eval/kappa.h"
+
+#include <unordered_set>
+
+namespace kf::eval {
+
+double KappaMeasure(uint64_t intersection, uint64_t t1, uint64_t t2,
+                    uint64_t kb) {
+  double i = static_cast<double>(intersection);
+  double a = static_cast<double>(t1);
+  double b = static_cast<double>(t2);
+  double n = static_cast<double>(kb);
+  double denom = n * n - a * b;
+  if (denom == 0.0) return 0.0;
+  return (i * n - a * b) / denom;
+}
+
+std::vector<KappaPair> ComputeExtractorKappas(
+    const extract::ExtractionDataset& dataset) {
+  const size_t n_ext = dataset.num_extractors();
+  std::vector<std::unordered_set<kb::TripleId>> triples(n_ext);
+  for (const extract::ExtractionRecord& r : dataset.records()) {
+    triples[r.prov.extractor].insert(r.triple);
+  }
+  std::vector<KappaPair> out;
+  for (size_t a = 0; a < n_ext; ++a) {
+    for (size_t b = a + 1; b < n_ext; ++b) {
+      const auto& small = triples[a].size() <= triples[b].size()
+                              ? triples[a]
+                              : triples[b];
+      const auto& large = triples[a].size() <= triples[b].size()
+                              ? triples[b]
+                              : triples[a];
+      uint64_t inter = 0;
+      for (kb::TripleId t : small) {
+        if (large.count(t)) ++inter;
+      }
+      KappaPair pair;
+      pair.e1 = static_cast<extract::ExtractorId>(a);
+      pair.e2 = static_cast<extract::ExtractorId>(b);
+      pair.kappa = KappaMeasure(inter, triples[a].size(), triples[b].size(),
+                                dataset.num_triples());
+      pair.same_content = dataset.extractors()[a].content ==
+                          dataset.extractors()[b].content;
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+}  // namespace kf::eval

@@ -1,0 +1,34 @@
+// Extractor correlation via the Kappa measure (Section 5.2, Eq. 1):
+//   kappa = (|T1 ∩ T2| |KB| - |T1| |T2|) / (|KB|^2 - |T1| |T2|)
+// computed over the sets of unique triples each extractor produced,
+// relative to the full set of unique triples KB.
+#ifndef KF_EVAL_KAPPA_H_
+#define KF_EVAL_KAPPA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/dataset.h"
+
+namespace kf::eval {
+
+/// Eq. 1, from the raw set cardinalities.
+double KappaMeasure(uint64_t intersection, uint64_t t1, uint64_t t2,
+                    uint64_t kb);
+
+struct KappaPair {
+  extract::ExtractorId e1 = 0;
+  extract::ExtractorId e2 = 0;
+  double kappa = 0.0;
+  /// Whether the two extractors target the same content type (Fig. 19
+  /// splits the distribution along this line).
+  bool same_content = false;
+};
+
+/// Kappa for every unordered pair of extractors.
+std::vector<KappaPair> ComputeExtractorKappas(
+    const extract::ExtractionDataset& dataset);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_KAPPA_H_

@@ -1,0 +1,67 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kf::eval {
+
+PRCurve ComputePR(const std::vector<double>& probability,
+                  const std::vector<uint8_t>& has_probability,
+                  const std::vector<Label>& labels) {
+  KF_CHECK(probability.size() == labels.size());
+  struct Scored {
+    double prob;
+    bool is_true;
+  };
+  std::vector<Scored> scored;
+  uint64_t total_true = 0;
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == Label::kUnknown || !has_probability[t]) continue;
+    bool is_true = labels[t] == Label::kTrue;
+    scored.push_back({probability[t], is_true});
+    if (is_true) ++total_true;
+  }
+  PRCurve curve;
+  if (scored.empty() || total_true == 0) return curve;
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.prob > b.prob;
+                   });
+
+  // Walk in decreasing probability; triples sharing a probability move the
+  // operating point together (one threshold admits all of them).
+  uint64_t tp = 0;
+  uint64_t seen = 0;
+  double prev_recall = 0.0;
+  double auc = 0.0;
+  const size_t stride = std::max<size_t>(1, scored.size() / 1000);
+  for (size_t i = 0; i < scored.size();) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].prob == scored[i].prob) {
+      if (scored[j].is_true) ++tp;
+      ++seen;
+      ++j;
+    }
+    double precision = static_cast<double>(tp) / static_cast<double>(seen);
+    double recall = static_cast<double>(tp) / static_cast<double>(total_true);
+    auc += (recall - prev_recall) * precision;
+    prev_recall = recall;
+    if (curve.recall.empty() || j >= scored.size() ||
+        (j / stride) != (i / stride)) {
+      curve.recall.push_back(recall);
+      curve.precision.push_back(precision);
+    }
+    i = j;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+double AucPr(const std::vector<double>& probability,
+             const std::vector<uint8_t>& has_probability,
+             const std::vector<Label>& labels) {
+  return ComputePR(probability, has_probability, labels).auc;
+}
+
+}  // namespace kf::eval

@@ -1,0 +1,33 @@
+// Precision-recall curve and AUC-PR (Section 4.2): triples are ordered by
+// decreasing predicted probability; precision and recall are computed over
+// the gold-labeled prefix as the threshold sweeps.
+#ifndef KF_EVAL_PR_CURVE_H_
+#define KF_EVAL_PR_CURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/label.h"
+
+namespace kf::eval {
+
+struct PRCurve {
+  /// Sampled points along the sweep (at most ~1000, plus the endpoints).
+  std::vector<double> recall;
+  std::vector<double> precision;
+  /// Area under the full-resolution curve (step integration).
+  double auc = 0.0;
+};
+
+PRCurve ComputePR(const std::vector<double>& probability,
+                  const std::vector<uint8_t>& has_probability,
+                  const std::vector<Label>& labels);
+
+/// Shorthand when only the area is needed.
+double AucPr(const std::vector<double>& probability,
+             const std::vector<uint8_t>& has_probability,
+             const std::vector<Label>& labels);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_PR_CURVE_H_

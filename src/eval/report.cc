@@ -1,0 +1,58 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace kf::eval {
+
+ModelReport EvaluateModel(const std::string& name,
+                          const fusion::FusionResult& result,
+                          const std::vector<Label>& labels, int buckets) {
+  ModelReport report;
+  report.name = name;
+  report.calibration = ComputeCalibration(result.probability,
+                                          result.has_probability, labels,
+                                          buckets);
+  report.pr = ComputePR(result.probability, result.has_probability, labels);
+  report.deviation = report.calibration.deviation;
+  report.weighted_deviation = report.calibration.weighted_deviation;
+  report.auc_pr = report.pr.auc;
+  report.coverage = result.Coverage();
+  return report;
+}
+
+std::string RenderCalibration(const CalibrationCurve& curve) {
+  TextTable table({"bucket", "predicted", "real", "count"});
+  const size_t n = curve.num_buckets();
+  for (size_t b = 0; b < n; ++b) {
+    if (curve.count[b] == 0) continue;
+    std::string bucket =
+        b + 1 == n ? "1.00"
+                   : StrFormat("[%.2f,%.2f)",
+                               static_cast<double>(b) / (n - 1),
+                               static_cast<double>(b + 1) / (n - 1));
+    table.AddRow({bucket, ToFixed(curve.predicted[b], 3),
+                  ToFixed(curve.real[b], 3),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(curve.count[b]))});
+  }
+  return table.ToString();
+}
+
+std::string RenderPR(const PRCurve& curve, size_t max_rows) {
+  TextTable table({"recall", "precision"});
+  if (!curve.recall.empty()) {
+    size_t stride = std::max<size_t>(1, curve.recall.size() / max_rows);
+    for (size_t i = 0; i < curve.recall.size(); i += stride) {
+      table.AddRow({ToFixed(curve.recall[i], 3),
+                    ToFixed(curve.precision[i], 3)});
+    }
+    table.AddRow({ToFixed(curve.recall.back(), 3),
+                  ToFixed(curve.precision.back(), 3)});
+  }
+  return table.ToString();
+}
+
+}  // namespace kf::eval

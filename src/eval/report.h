@@ -1,0 +1,39 @@
+// Convenience wrappers that bundle the Section 4.2 metrics for one fusion
+// run, and text rendering used by the bench binaries.
+#ifndef KF_EVAL_REPORT_H_
+#define KF_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/label.h"
+#include "eval/calibration.h"
+#include "eval/pr_curve.h"
+#include "fusion/engine.h"
+
+namespace kf::eval {
+
+struct ModelReport {
+  std::string name;
+  CalibrationCurve calibration;
+  PRCurve pr;
+  double deviation = 0.0;
+  double weighted_deviation = 0.0;
+  double auc_pr = 0.0;
+  double coverage = 0.0;  // fraction of unique triples with a probability
+};
+
+/// Evaluates one fusion result against the gold standard.
+ModelReport EvaluateModel(const std::string& name,
+                          const fusion::FusionResult& result,
+                          const std::vector<Label>& labels, int buckets = 20);
+
+/// Renders a calibration curve as an ASCII "predicted vs real" table.
+std::string RenderCalibration(const CalibrationCurve& curve);
+
+/// Renders a sampled PR curve.
+std::string RenderPR(const PRCurve& curve, size_t max_rows = 12);
+
+}  // namespace kf::eval
+
+#endif  // KF_EVAL_REPORT_H_

@@ -1,0 +1,377 @@
+#include "extract/corpus_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace kf::extract {
+namespace {
+
+// Accuracy = fraction of kTrue among labeled; 0 when nothing is labeled.
+double AccuracyOf(uint64_t num_true, uint64_t num_labeled) {
+  return num_labeled == 0 ? 0.0
+                          : static_cast<double>(num_true) /
+                                static_cast<double>(num_labeled);
+}
+
+}  // namespace
+
+SkewStats ComputeSkew(std::vector<uint64_t> counts) {
+  SkewStats s;
+  if (counts.empty()) return s;
+  std::sort(counts.begin(), counts.end());
+  s.min = counts.front();
+  s.max = counts.back();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  s.mean = static_cast<double>(total) / static_cast<double>(counts.size());
+  size_t mid = counts.size() / 2;
+  s.median = counts.size() % 2 == 1
+                 ? static_cast<double>(counts[mid])
+                 : 0.5 * static_cast<double>(counts[mid - 1] + counts[mid]);
+  return s;
+}
+
+OverviewStats ComputeOverview(const ExtractionDataset& dataset) {
+  OverviewStats out;
+  out.num_records = dataset.num_records();
+  out.num_unique_triples = dataset.num_triples();
+  out.num_items = dataset.num_items();
+
+  std::unordered_map<kb::EntityId, uint64_t> triples_per_entity;
+  std::unordered_map<kb::PredicateId, uint64_t> triples_per_predicate;
+  std::unordered_map<kb::ValueId, uint64_t> object_seen;
+  std::vector<uint64_t> triples_per_item(dataset.num_items(), 0);
+  std::unordered_map<kb::EntityId, std::unordered_set<kb::PredicateId>>
+      predicates_per_entity;
+
+  for (const TripleInfo& t : dataset.triples()) {
+    const kb::DataItem& item = dataset.item(t.item);
+    ++triples_per_entity[item.subject];
+    ++triples_per_predicate[item.predicate];
+    ++object_seen[t.object];
+    ++triples_per_item[t.item];
+    predicates_per_entity[item.subject].insert(item.predicate);
+  }
+  out.num_subjects = triples_per_entity.size();
+  out.num_predicates = triples_per_predicate.size();
+  out.num_objects = object_seen.size();
+
+  auto values_of = [](const auto& m) {
+    std::vector<uint64_t> v;
+    v.reserve(m.size());
+    for (const auto& [k, c] : m) v.push_back(c);
+    return v;
+  };
+  out.triples_per_entity = ComputeSkew(values_of(triples_per_entity));
+  out.triples_per_predicate = ComputeSkew(values_of(triples_per_predicate));
+  out.triples_per_item = ComputeSkew(triples_per_item);
+  {
+    std::vector<uint64_t> counts;
+    counts.reserve(predicates_per_entity.size());
+    for (const auto& [e, preds] : predicates_per_entity) {
+      counts.push_back(preds.size());
+    }
+    out.predicates_per_entity = ComputeSkew(std::move(counts));
+  }
+  {
+    std::vector<uint64_t> per_url(dataset.num_urls(), 0);
+    for (const ExtractionRecord& r : dataset.records()) {
+      ++per_url[r.prov.url];
+    }
+    // Drop URLs nothing was extracted from; the paper counts contributing
+    // pages only.
+    std::vector<uint64_t> contributing;
+    contributing.reserve(per_url.size());
+    for (uint64_t c : per_url) {
+      if (c > 0) contributing.push_back(c);
+    }
+    out.records_per_url = ComputeSkew(std::move(contributing));
+  }
+  return out;
+}
+
+std::vector<ExtractorStats> ComputeExtractorStats(
+    const ExtractionDataset& dataset, const std::vector<Label>& labels) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  const size_t n_ext = dataset.num_extractors();
+  std::vector<ExtractorStats> out(n_ext);
+  std::vector<std::unordered_set<kb::TripleId>> uniq(n_ext);
+  std::vector<std::unordered_set<UrlId>> pages(n_ext);
+  std::vector<std::unordered_set<PatternId>> patterns(n_ext);
+  // Per-extractor accuracy is over unique triples it extracted; a triple's
+  // high-confidence variant keeps the max confidence seen for the extractor.
+  std::vector<std::unordered_map<kb::TripleId, float>> max_conf(n_ext);
+
+  for (const ExtractionRecord& r : dataset.records()) {
+    ExtractorId e = r.prov.extractor;
+    ++out[e].num_records;
+    uniq[e].insert(r.triple);
+    pages[e].insert(r.prov.url);
+    patterns[e].insert(r.prov.pattern);
+    if (r.has_confidence) {
+      auto [it, inserted] = max_conf[e].emplace(r.triple, r.confidence);
+      if (!inserted) it->second = std::max(it->second, r.confidence);
+    }
+  }
+  for (size_t e = 0; e < n_ext; ++e) {
+    out[e].num_unique_triples = uniq[e].size();
+    out[e].num_pages = pages[e].size();
+    out[e].has_confidence = dataset.extractors()[e].has_confidence;
+    out[e].num_patterns = patterns[e].size();
+    uint64_t labeled = 0, correct = 0, hc_labeled = 0, hc_correct = 0;
+    for (kb::TripleId t : uniq[e]) {
+      if (labels[t] == Label::kUnknown) continue;
+      ++labeled;
+      bool is_true = labels[t] == Label::kTrue;
+      if (is_true) ++correct;
+      auto it = max_conf[e].find(t);
+      if (it != max_conf[e].end() && it->second >= 0.7f) {
+        ++hc_labeled;
+        if (is_true) ++hc_correct;
+      }
+    }
+    out[e].accuracy = AccuracyOf(correct, labeled);
+    out[e].accuracy_high_conf = AccuracyOf(hc_correct, hc_labeled);
+  }
+  return out;
+}
+
+std::array<uint64_t, 16> ContentTypeOverlap(const ExtractionDataset& dataset) {
+  std::vector<uint8_t> mask(dataset.num_triples(), 0);
+  for (const ExtractionRecord& r : dataset.records()) {
+    ContentType c = dataset.extractors()[r.prov.extractor].content;
+    mask[r.triple] |= static_cast<uint8_t>(1u << static_cast<int>(c));
+  }
+  std::array<uint64_t, 16> out = {};
+  for (uint8_t m : mask) ++out[m];
+  return out;
+}
+
+std::vector<double> PredicateAccuracyHistogram(
+    const ExtractionDataset& dataset, const std::vector<Label>& labels,
+    size_t min_labeled, int num_buckets) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  KF_CHECK(num_buckets > 0);
+  std::unordered_map<kb::PredicateId, std::pair<uint64_t, uint64_t>> counts;
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (labels[t] == Label::kUnknown) continue;
+    const kb::DataItem& item = dataset.item(dataset.triple(t).item);
+    auto& [labeled, correct] = counts[item.predicate];
+    ++labeled;
+    if (labels[t] == Label::kTrue) ++correct;
+  }
+  std::vector<double> hist(static_cast<size_t>(num_buckets) + 1, 0.0);
+  uint64_t num_preds = 0;
+  for (const auto& [p, lc] : counts) {
+    if (lc.first < min_labeled) continue;
+    double acc = AccuracyOf(lc.second, lc.first);
+    int b = std::min(num_buckets,
+                     static_cast<int>(acc * num_buckets));  // acc==1 -> last
+    hist[static_cast<size_t>(b)] += 1.0;
+    ++num_preds;
+  }
+  if (num_preds > 0) {
+    for (double& h : hist) h /= static_cast<double>(num_preds);
+  }
+  return hist;
+}
+
+GapHistogram ExtractorGapHistogram(const ExtractionDataset& dataset,
+                                   const std::vector<Label>& labels,
+                                   size_t min_triples) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  // (url, extractor) -> per-cell unique-triple accuracy.
+  struct Cell {
+    std::unordered_set<kb::TripleId> seen;
+    UrlId url = 0;
+    uint64_t labeled = 0;
+    uint64_t correct = 0;
+  };
+  std::unordered_map<uint64_t, Cell> cells;
+  for (const ExtractionRecord& r : dataset.records()) {
+    if (labels[r.triple] == Label::kUnknown) continue;
+    uint64_t key = HashCombine(Mix64(r.prov.url), r.prov.extractor);
+    Cell& c = cells[key];
+    c.url = r.prov.url;
+    if (!c.seen.insert(r.triple).second) continue;
+    ++c.labeled;
+    if (labels[r.triple] == Label::kTrue) ++c.correct;
+  }
+  // url -> [min acc, max acc, qualifying extractor count]
+  struct PageAgg {
+    double lo = 1.0;
+    double hi = 0.0;
+    int n = 0;
+  };
+  std::unordered_map<UrlId, PageAgg> pages;
+  for (const auto& [key, c] : cells) {
+    if (c.labeled < min_triples) continue;
+    double acc = AccuracyOf(c.correct, c.labeled);
+    PageAgg& agg = pages[c.url];
+    agg.lo = std::min(agg.lo, acc);
+    agg.hi = std::max(agg.hi, acc);
+    ++agg.n;
+  }
+  GapHistogram out;
+  double gap_sum = 0.0;
+  uint64_t above_half = 0;
+  for (const auto& [url, agg] : pages) {
+    if (agg.n < 2) continue;
+    double gap = agg.hi - agg.lo;
+    gap_sum += gap;
+    int bucket;
+    if (gap <= 0.0) {
+      bucket = 0;
+    } else if (gap > 0.5) {
+      bucket = 6;
+      ++above_half;
+    } else {
+      bucket = 1 + std::min(4, static_cast<int>(gap * 10.0));
+    }
+    out.fraction[static_cast<size_t>(bucket)] += 1.0;
+    ++out.num_pages;
+  }
+  if (out.num_pages > 0) {
+    for (double& f : out.fraction) f /= static_cast<double>(out.num_pages);
+    out.mean_gap = gap_sum / static_cast<double>(out.num_pages);
+    out.frac_above_half =
+        static_cast<double>(above_half) / static_cast<double>(out.num_pages);
+  }
+  return out;
+}
+
+std::vector<SupportBin> AccuracyBySupport(const ExtractionDataset& dataset,
+                                          const std::vector<Label>& labels,
+                                          SupportKind kind, uint64_t bin_width,
+                                          uint64_t max_support,
+                                          uint64_t min_extractors,
+                                          uint64_t max_extractors) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  KF_CHECK(bin_width > 0);
+  const size_t n = dataset.num_triples();
+  std::vector<std::unordered_set<uint64_t>> support(n);
+  std::vector<std::unordered_set<uint32_t>> extractors(n);
+  for (const ExtractionRecord& r : dataset.records()) {
+    uint64_t s = 0;
+    switch (kind) {
+      case SupportKind::kExtractors:
+        s = r.prov.extractor;
+        break;
+      case SupportKind::kUrls:
+        s = r.prov.url;
+        break;
+      case SupportKind::kProvenances:
+        s = HashCombine(Mix64(r.prov.url), r.prov.extractor);
+        break;
+    }
+    support[r.triple].insert(s);
+    extractors[r.triple].insert(r.prov.extractor);
+  }
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> bins;  // bin -> (lab, cor)
+  for (kb::TripleId t = 0; t < n; ++t) {
+    if (labels[t] == Label::kUnknown) continue;
+    uint64_t n_ext = extractors[t].size();
+    if (min_extractors > 0 && n_ext < min_extractors) continue;
+    if (max_extractors > 0 && n_ext > max_extractors) continue;
+    uint64_t s = support[t].size();
+    if (s > max_support) s = max_support;
+    uint64_t bin = (s - 1) / bin_width;
+    auto& [labeled, correct] = bins[bin];
+    ++labeled;
+    if (labels[t] == Label::kTrue) ++correct;
+  }
+  std::vector<SupportBin> out;
+  for (const auto& [bin, lc] : bins) {
+    SupportBin b;
+    b.support_lo = bin * bin_width + 1;
+    b.support_hi = (bin + 1) * bin_width;
+    b.num_labeled = lc.first;
+    b.accuracy = AccuracyOf(lc.second, lc.first);
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::array<double, 7> TruthCountDistribution(const ExtractionDataset& dataset,
+                                             const std::vector<Label>& labels) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  std::vector<uint32_t> truths(dataset.num_items(), 0);
+  std::vector<uint8_t> labeled(dataset.num_items(), 0);
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (labels[t] == Label::kUnknown) continue;
+    labeled[dataset.triple(t).item] = 1;
+    if (labels[t] == Label::kTrue) ++truths[dataset.triple(t).item];
+  }
+  std::array<double, 7> out = {};
+  uint64_t num_items = 0;
+  for (kb::DataItemId i = 0; i < dataset.num_items(); ++i) {
+    if (!labeled[i]) continue;
+    ++num_items;
+    uint32_t k = truths[i];
+    out[k > 5 ? 6 : k] += 1.0;
+  }
+  if (num_items > 0) {
+    for (double& f : out) f /= static_cast<double>(num_items);
+  }
+  return out;
+}
+
+ConfidenceProfile ComputeConfidenceProfile(const ExtractionDataset& dataset,
+                                           const std::vector<Label>& labels,
+                                           ExtractorId extractor) {
+  KF_CHECK(labels.size() == dataset.num_triples());
+  ConfidenceProfile out;
+  std::array<uint64_t, 10> correct = {};
+  uint64_t total = 0;
+  // Unique triples for this extractor, at the max confidence it assigned.
+  std::unordered_map<kb::TripleId, float> max_conf;
+  for (const ExtractionRecord& r : dataset.records()) {
+    if (r.prov.extractor != extractor || !r.has_confidence) continue;
+    auto [it, inserted] = max_conf.emplace(r.triple, r.confidence);
+    if (!inserted) it->second = std::max(it->second, r.confidence);
+  }
+  for (const auto& [t, conf] : max_conf) {
+    if (labels[t] == Label::kUnknown) continue;
+    int b = std::min(9, static_cast<int>(conf * 10.0f));
+    ++out.count[static_cast<size_t>(b)];
+    ++total;
+    if (labels[t] == Label::kTrue) ++correct[static_cast<size_t>(b)];
+  }
+  for (size_t b = 0; b < 10; ++b) {
+    out.coverage[b] = total == 0 ? 0.0
+                                 : static_cast<double>(out.count[b]) /
+                                       static_cast<double>(total);
+    out.accuracy[b] = AccuracyOf(correct[b], out.count[b]);
+  }
+  return out;
+}
+
+std::array<double, 10> CoverageByConfidenceThreshold(
+    const ExtractionDataset& dataset) {
+  std::array<uint64_t, 10> pass = {};
+  uint64_t total = 0;
+  for (const ExtractionRecord& r : dataset.records()) {
+    ++total;
+    for (int i = 0; i < 10; ++i) {
+      double threshold = 0.1 * (i + 1);
+      if (!r.has_confidence || r.confidence >= threshold - 1e-6) {
+        ++pass[static_cast<size_t>(i)];
+      }
+    }
+  }
+  std::array<double, 10> out = {};
+  for (size_t i = 0; i < 10; ++i) {
+    out[i] = total == 0 ? 0.0
+                        : static_cast<double>(pass[i]) /
+                              static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace kf::extract

@@ -1,0 +1,140 @@
+// Corpus statistics behind the paper's Section 3 analysis: Table 1 (corpus
+// overview), Table 2 (per-extractor quality), Figure 3 (content-type
+// overlap), Figure 4 (predicate accuracy), Figure 5 (per-page extractor
+// gap), Figures 6/7/18 (accuracy vs support), Figure 20 (#truths per item),
+// Figures 21/22 (confidence behaviour).
+#ifndef KF_EXTRACT_CORPUS_STATS_H_
+#define KF_EXTRACT_CORPUS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/label.h"
+#include "extract/dataset.h"
+
+namespace kf::extract {
+
+/// Mean / median / min / max of a count distribution (Table 1 reports these
+/// to show the heavy-head, long-tail skew).
+struct SkewStats {
+  double mean = 0.0;
+  double median = 0.0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+};
+
+/// Computes SkewStats; `counts` is consumed (sorted in place).
+SkewStats ComputeSkew(std::vector<uint64_t> counts);
+
+/// Table 1: the corpus overview counts and skew rows.
+struct OverviewStats {
+  uint64_t num_records = 0;        // extracted (non-unique) triples
+  uint64_t num_unique_triples = 0;
+  uint64_t num_subjects = 0;
+  uint64_t num_predicates = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_items = 0;
+  SkewStats triples_per_entity;
+  SkewStats triples_per_predicate;
+  SkewStats triples_per_item;
+  SkewStats predicates_per_entity;
+  SkewStats records_per_url;
+};
+
+OverviewStats ComputeOverview(const ExtractionDataset& dataset);
+
+/// Table 2: one row per extractor.
+struct ExtractorStats {
+  uint64_t num_records = 0;
+  uint64_t num_unique_triples = 0;
+  uint64_t num_pages = 0;
+  uint64_t num_patterns = 0;
+  double accuracy = 0.0;            // over gold-labeled unique triples
+  double accuracy_high_conf = 0.0;  // restricted to confidence >= 0.7
+  bool has_confidence = false;
+};
+
+std::vector<ExtractorStats> ComputeExtractorStats(
+    const ExtractionDataset& dataset, const std::vector<Label>& labels);
+
+/// Figure 3: for each non-empty subset of content types (bitmask over
+/// ContentType), the number of unique triples extracted from exactly that
+/// subset.
+std::array<uint64_t, 16> ContentTypeOverlap(const ExtractionDataset& dataset);
+
+/// Figure 4: histogram (fractions summing to 1) of per-predicate accuracy
+/// over `num_buckets` equal accuracy bins; predicates with fewer than
+/// `min_labeled` gold-labeled triples are skipped.
+std::vector<double> PredicateAccuracyHistogram(const ExtractionDataset& dataset,
+                                               const std::vector<Label>& labels,
+                                               size_t min_labeled,
+                                               int num_buckets);
+
+/// Figure 5: histogram over {0, (0,.1], ..., (.4,.5], >.5} of the per-page
+/// gap between the best and worst extractor accuracy. Only (page, extractor)
+/// pairs with at least `min_triples` labeled triples participate, and only
+/// pages with >= 2 qualifying extractors.
+struct GapHistogram {
+  std::array<double, 7> fraction = {};  // buckets as in Fig. 5
+  double mean_gap = 0.0;
+  double frac_above_half = 0.0;
+  uint64_t num_pages = 0;
+};
+GapHistogram ExtractorGapHistogram(const ExtractionDataset& dataset,
+                                   const std::vector<Label>& labels,
+                                   size_t min_triples);
+
+/// What to count as "support" of a triple for the accuracy-vs-support
+/// curves.
+enum class SupportKind {
+  kExtractors,   // Fig. 6: distinct extractors
+  kUrls,         // Fig. 7: distinct URLs
+  kProvenances,  // Fig. 18: distinct (Extractor, URL) pairs
+};
+
+struct SupportBin {
+  uint64_t support_lo = 0;  // inclusive
+  uint64_t support_hi = 0;  // inclusive
+  uint64_t num_labeled = 0;
+  double accuracy = 0.0;
+};
+
+/// Accuracy of gold-labeled unique triples binned by support count.
+/// `bin_width` merges consecutive support counts (1 for Fig. 6).
+/// If `min_extractors` > 0, only triples extracted by at least that many
+/// distinct extractors are considered; if `max_extractors` > 0 it caps the
+/// count (Fig. 18 uses [1,1] and [8,inf)).
+std::vector<SupportBin> AccuracyBySupport(const ExtractionDataset& dataset,
+                                          const std::vector<Label>& labels,
+                                          SupportKind kind,
+                                          uint64_t bin_width,
+                                          uint64_t max_support,
+                                          uint64_t min_extractors = 0,
+                                          uint64_t max_extractors = 0);
+
+/// Figure 20: fraction of data items (with >= 1 labeled triple) that have
+/// exactly 0,1,...,5 and >5 true triples in the gold standard.
+std::array<double, 7> TruthCountDistribution(const ExtractionDataset& dataset,
+                                             const std::vector<Label>& labels);
+
+/// Figure 21: per-extractor coverage (fraction of its labeled triples) and
+/// accuracy per confidence bucket of width 0.1.
+struct ConfidenceProfile {
+  std::array<double, 10> coverage = {};
+  std::array<double, 10> accuracy = {};
+  std::array<uint64_t, 10> count = {};
+};
+ConfidenceProfile ComputeConfidenceProfile(const ExtractionDataset& dataset,
+                                           const std::vector<Label>& labels,
+                                           ExtractorId extractor);
+
+/// Figure 22: fraction of all extraction records whose confidence is >= the
+/// threshold t for t in {0.1, ..., 1.0} (records without confidence count
+/// as passing, mirroring the paper's 99.5% coverage note).
+std::array<double, 10> CoverageByConfidenceThreshold(
+    const ExtractionDataset& dataset);
+
+}  // namespace kf::extract
+
+#endif  // KF_EXTRACT_CORPUS_STATS_H_

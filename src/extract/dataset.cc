@@ -1,0 +1,82 @@
+#include "extract/dataset.h"
+
+#include "common/logging.h"
+
+namespace kf::extract {
+
+const char* ErrorClassName(ErrorClass e) {
+  switch (e) {
+    case ErrorClass::kNone:
+      return "none";
+    case ErrorClass::kSourceError:
+      return "source-error";
+    case ErrorClass::kTripleIdentification:
+      return "triple-identification";
+    case ErrorClass::kEntityLinkage:
+      return "entity-linkage";
+    case ErrorClass::kPredicateLinkage:
+      return "predicate-linkage";
+    case ErrorClass::kMoreSpecificValue:
+      return "more-specific-value";
+    case ErrorClass::kMoreGeneralValue:
+      return "more-general-value";
+  }
+  return "???";
+}
+
+kb::DataItemId ExtractionDataset::InternItem(const kb::DataItem& item) {
+  auto [it, inserted] = item_index_.emplace(
+      item, static_cast<kb::DataItemId>(items_.size()));
+  if (inserted) items_.push_back(item);
+  return it->second;
+}
+
+kb::TripleId ExtractionDataset::InternTriple(const kb::DataItem& item,
+                                             kb::ValueId object,
+                                             bool true_in_world,
+                                             bool hierarchy_true) {
+  kb::Triple t{item, object};
+  auto [it, inserted] =
+      triple_index_.emplace(t, static_cast<kb::TripleId>(triples_.size()));
+  if (inserted) {
+    TripleInfo info;
+    info.item = InternItem(item);
+    info.object = object;
+    info.true_in_world = true_in_world;
+    info.hierarchy_true = hierarchy_true;
+    triples_.push_back(info);
+  } else {
+    TripleInfo& info = triples_[it->second];
+    info.true_in_world = info.true_in_world || true_in_world;
+    info.hierarchy_true = info.hierarchy_true || hierarchy_true;
+  }
+  return it->second;
+}
+
+void ExtractionDataset::AddRecord(const ExtractionRecord& record) {
+  KF_DCHECK(record.triple < triples_.size());
+  records_.push_back(record);
+}
+
+void ExtractionDataset::SetExtractors(std::vector<ExtractorMeta> extractors) {
+  extractors_ = std::move(extractors);
+}
+
+void ExtractionDataset::SetUrlSites(std::vector<SiteId> url_site) {
+  url_site_ = std::move(url_site);
+}
+
+void ExtractionDataset::SetCounts(size_t num_sites, size_t num_patterns,
+                                  size_t num_predicates) {
+  num_sites_ = num_sites;
+  num_patterns_ = num_patterns;
+  num_predicates_ = num_predicates;
+}
+
+kb::TripleId ExtractionDataset::FindTriple(const kb::DataItem& item,
+                                           kb::ValueId object) const {
+  auto it = triple_index_.find(kb::Triple{item, object});
+  return it == triple_index_.end() ? kb::kInvalidId : it->second;
+}
+
+}  // namespace kf::extract

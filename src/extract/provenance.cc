@@ -1,0 +1,69 @@
+#include "extract/provenance.h"
+
+namespace kf::extract {
+
+const char* ContentTypeName(ContentType type) {
+  switch (type) {
+    case ContentType::kTxt:
+      return "TXT";
+    case ContentType::kDom:
+      return "DOM";
+    case ContentType::kTbl:
+      return "TBL";
+    case ContentType::kAno:
+      return "ANO";
+  }
+  return "???";
+}
+
+Granularity Granularity::ExtractorUrl() { return Granularity(); }
+
+Granularity Granularity::ExtractorSite() {
+  Granularity g;
+  g.use_url = false;
+  g.use_site = true;
+  return g;
+}
+
+Granularity Granularity::ExtractorSitePredicate() {
+  Granularity g = ExtractorSite();
+  g.use_predicate = true;
+  return g;
+}
+
+Granularity Granularity::ExtractorSitePredicatePattern() {
+  Granularity g = ExtractorSitePredicate();
+  g.use_pattern = true;
+  return g;
+}
+
+Granularity Granularity::OnlyExtractorPattern() {
+  Granularity g;
+  g.use_url = false;
+  g.use_pattern = true;
+  return g;
+}
+
+Granularity Granularity::OnlyUrl() {
+  Granularity g;
+  g.use_extractor = false;
+  g.use_url = true;
+  return g;
+}
+
+std::string Granularity::ToString() const {
+  std::string out = "(";
+  auto append = [&](const char* piece) {
+    if (out.size() > 1) out += ", ";
+    out += piece;
+  };
+  if (use_extractor) append("Extractor");
+  if (use_url) append("URL");
+  if (use_site) append("Site");
+  if (use_predicate) append("Predicate");
+  if (use_pattern) append("Pattern");
+  out += ")";
+  return out;
+}
+
+}  // namespace kf::extract

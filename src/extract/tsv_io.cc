@@ -1,0 +1,164 @@
+#include "extract/tsv_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace kf::extract {
+namespace {
+
+// Registers the extractor on first sight, so ids stay dense.
+ExtractorId InternExtractor(TsvCorpus* corpus,
+                            std::vector<ExtractorMeta>* metas,
+                            const std::string& name, bool has_confidence) {
+  uint32_t existing = corpus->extractors.Find(name);
+  if (existing != StringInterner::kInvalidId) {
+    if (has_confidence) (*metas)[existing].has_confidence = true;
+    return existing;
+  }
+  uint32_t id = corpus->extractors.Intern(name);
+  ExtractorMeta meta;
+  meta.name = name;
+  meta.has_confidence = has_confidence;
+  metas->push_back(meta);
+  return id;
+}
+
+}  // namespace
+
+Result<TsvCorpus> ReadExtractionsTsv(const std::string& text) {
+  TsvCorpus corpus;
+  std::vector<ExtractorMeta> metas;
+  std::vector<SiteId> url_site;
+
+  size_t line_no = 0;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = StrSplit(line, '\t');
+    if (line_no == 1 && cols.size() >= 5 && cols[0] == "subject") {
+      continue;  // header row
+    }
+    if (cols.size() < 5) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected >= 5 tab-separated columns, got %zu",
+                    line_no, cols.size()));
+    }
+    float confidence = 0.0f;
+    bool has_confidence = false;
+    if (cols.size() >= 6 && !cols[5].empty()) {
+      char* end = nullptr;
+      confidence = std::strtof(cols[5].c_str(), &end);
+      if (end == cols[5].c_str() || confidence < 0.0f ||
+          confidence > 1.0f) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad confidence '%s'", line_no,
+                      cols[5].c_str()));
+      }
+      has_confidence = true;
+    }
+
+    kb::DataItem item{corpus.subjects.Intern(cols[0]),
+                      corpus.predicates.Intern(cols[1])};
+    kb::ValueId object = corpus.values.Intern(
+        kb::Value::OfString(corpus.objects.Intern(cols[2])));
+    kb::TripleId triple =
+        corpus.dataset.InternTriple(item, object, false, false);
+
+    ExtractionRecord record;
+    record.triple = triple;
+    record.prov.extractor =
+        InternExtractor(&corpus, &metas, cols[3], has_confidence);
+    record.prov.url = corpus.urls.Intern(cols[4]);
+    record.prov.site = corpus.sites.Intern(SiteOfUrl(cols[4]));
+    record.prov.predicate = item.predicate;
+    // Optional explicit pattern column; defaults to the extractor itself.
+    record.prov.pattern =
+        cols.size() >= 7 && !cols[6].empty()
+            ? corpus.extractors.Intern(cols[3] + "/" + cols[6])
+            : record.prov.extractor;
+    record.confidence = confidence;
+    record.has_confidence = has_confidence;
+    corpus.dataset.AddRecord(record);
+
+    if (record.prov.url >= url_site.size()) {
+      url_site.resize(record.prov.url + 1, 0);
+    }
+    url_site[record.prov.url] = record.prov.site;
+  }
+  corpus.dataset.SetExtractors(std::move(metas));
+  corpus.dataset.SetUrlSites(std::move(url_site));
+  corpus.dataset.SetCounts(corpus.sites.size(), corpus.extractors.size(),
+                           corpus.predicates.size());
+  return corpus;
+}
+
+Result<TsvCorpus> ReadExtractionsTsvFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return ReadExtractionsTsv(text);
+}
+
+std::string WriteExtractionsTsv(const TsvCorpus& corpus) {
+  std::string out = "subject\tpredicate\tobject\textractor\turl\tconfidence\n";
+  for (const ExtractionRecord& r : corpus.dataset.records()) {
+    const TripleInfo& info = corpus.dataset.triple(r.triple);
+    const kb::DataItem& item = corpus.dataset.item(info.item);
+    out += corpus.subjects.Get(item.subject);
+    out += '\t';
+    out += corpus.predicates.Get(item.predicate);
+    out += '\t';
+    out += corpus.objects.Get(corpus.values.Get(info.object).string_id);
+    out += '\t';
+    out += corpus.extractors.Get(r.prov.extractor);
+    out += '\t';
+    out += corpus.urls.Get(r.prov.url);
+    out += '\t';
+    if (r.has_confidence) out += ToFixed(r.confidence, 4);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteResultsTsv(const TsvCorpus& corpus,
+                            const std::vector<double>& probability,
+                            const std::vector<uint8_t>& has_probability) {
+  std::string out = "subject\tpredicate\tobject\tprobability\n";
+  for (kb::TripleId t = 0; t < corpus.dataset.num_triples(); ++t) {
+    if (t >= has_probability.size() || !has_probability[t]) continue;
+    const TripleInfo& info = corpus.dataset.triple(t);
+    const kb::DataItem& item = corpus.dataset.item(info.item);
+    out += corpus.subjects.Get(item.subject);
+    out += '\t';
+    out += corpus.predicates.Get(item.predicate);
+    out += '\t';
+    out += corpus.objects.Get(corpus.values.Get(info.object).string_id);
+    out += '\t';
+    out += ToFixed(probability[t], 6);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kf::extract

@@ -1,0 +1,58 @@
+// TSV import/export for extraction datasets and fusion results, so the
+// library can fuse extractions produced by external pipelines.
+//
+// Extraction TSV columns (header optional, '#' comments skipped):
+//   subject <TAB> predicate <TAB> object <TAB> extractor <TAB> url
+//   [<TAB> confidence] [<TAB> pattern]
+//
+// Result TSV columns written by WriteResultsTsv:
+//   subject <TAB> predicate <TAB> object <TAB> probability
+#ifndef KF_EXTRACT_TSV_IO_H_
+#define KF_EXTRACT_TSV_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "extract/dataset.h"
+#include "kb/value.h"
+
+namespace kf::extract {
+
+/// Holds the dataset together with the string tables needed to resolve ids
+/// back to the original names.
+struct TsvCorpus {
+  ExtractionDataset dataset;
+  StringInterner subjects;
+  StringInterner predicates;
+  StringInterner objects;
+  StringInterner extractors;
+  StringInterner urls;
+  StringInterner sites;
+  kb::ValueTable values;
+};
+
+/// Parses extraction rows from TSV text. Returns InvalidArgument on rows
+/// with fewer than 5 columns or an unparsable confidence.
+Result<TsvCorpus> ReadExtractionsTsv(const std::string& text);
+
+/// Reads a TSV file from disk and parses it.
+Result<TsvCorpus> ReadExtractionsTsvFile(const std::string& path);
+
+/// Serializes a dataset built by ReadExtractionsTsv back to TSV (lossless
+/// for the columns above).
+std::string WriteExtractionsTsv(const TsvCorpus& corpus);
+
+/// Serializes per-triple probabilities. Triples without a probability are
+/// skipped.
+std::string WriteResultsTsv(const TsvCorpus& corpus,
+                            const std::vector<double>& probability,
+                            const std::vector<uint8_t>& has_probability);
+
+/// Writes text to a file.
+Status WriteFile(const std::string& path, const std::string& text);
+
+}  // namespace kf::extract
+
+#endif  // KF_EXTRACT_TSV_IO_H_

@@ -1,0 +1,33 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "fusion/scorer.h"
+
+namespace kf::fusion {
+
+// ACCU vote count of a source with accuracy A: ln(N * A / (1 - A)). The
+// posterior of value v is exp(sum of vote counts of its claimants),
+// normalized over the observed values plus the (N + 1 - |V|) unobserved
+// candidates, each of which carries weight exp(0) = 1. Accuracies are
+// clamped by the engine, so the log-odds stay finite.
+void AccuScorer::Score(const ItemClaims& claims, TripleProbs* out) const {
+  std::unordered_map<kb::TripleId, double> score;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    double a = claims.accuracy[i];
+    score[claims.triple[i]] += std::log(n_false_values_ * a / (1.0 - a));
+  }
+  // Stabilize: normalize relative to the max exponent.
+  double max_score = 0.0;  // the unobserved candidates carry score 0
+  for (const auto& [t, s] : score) max_score = std::max(max_score, s);
+  double unobserved =
+      std::max(0.0, n_false_values_ + 1.0 -
+                        static_cast<double>(score.size()));
+  double total = unobserved * std::exp(-max_score);
+  for (const auto& [t, s] : score) total += std::exp(s - max_score);
+  for (const auto& [t, s] : score) {
+    out->emplace_back(t, std::exp(s - max_score) / total);
+  }
+}
+
+}  // namespace kf::fusion

@@ -1,0 +1,60 @@
+// Classic data-fusion / truth-discovery baselines from the survey the paper
+// builds on ([20], Section 2). The paper rules these out for knowledge
+// fusion because their scores lack a probabilistic interpretation; we
+// implement them so the benches can demonstrate exactly that (scores are
+// monotone but badly calibrated).
+//
+// All baselines consume the same deduplicated claims as the main engine and
+// return a FusionResult whose "probability" field holds the (normalized)
+// score of each claimed triple.
+#ifndef KF_FUSION_BASELINES_BASELINES_H_
+#define KF_FUSION_BASELINES_BASELINES_H_
+
+#include "common/label.h"
+#include "extract/dataset.h"
+#include "fusion/engine.h"
+#include "fusion/options.h"
+
+namespace kf::fusion {
+
+struct BaselineOptions {
+  extract::Granularity granularity = extract::Granularity::ExtractorUrl();
+  size_t max_rounds = 5;
+  size_t num_workers = 0;
+};
+
+/// TruthFinder (Yin, Han, Yu; SIGKDD 2007). Source trustworthiness is the
+/// mean confidence of its values; value confidence combines claimant
+/// trust scores through a logistic link with dampening.
+struct TruthFinderOptions : BaselineOptions {
+  double initial_trust = 0.9;
+  double dampening = 0.3;  // gamma
+};
+FusionResult RunTruthFinder(const extract::ExtractionDataset& dataset,
+                            const TruthFinderOptions& options);
+
+/// 2-Estimates (Galland et al.; WSDM 2010): alternating estimates of value
+/// truth and source error, affinely renormalized each round.
+struct TwoEstimatesOptions : BaselineOptions {};
+FusionResult RunTwoEstimates(const extract::ExtractionDataset& dataset,
+                             const TwoEstimatesOptions& options);
+
+/// Investment (Pasternack & Roth; COLING 2010): sources invest their trust
+/// uniformly across claims; claim credit grows super-linearly and returns
+/// to the investors proportionally.
+struct InvestmentOptions : BaselineOptions {
+  double growth = 1.2;  // g
+};
+FusionResult RunInvestment(const extract::ExtractionDataset& dataset,
+                           const InvestmentOptions& options);
+
+/// PooledInvestment: Investment with per-data-item credit pooling.
+struct PooledInvestmentOptions : BaselineOptions {
+  double growth = 1.4;
+};
+FusionResult RunPooledInvestment(const extract::ExtractionDataset& dataset,
+                                 const PooledInvestmentOptions& options);
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_BASELINES_BASELINES_H_

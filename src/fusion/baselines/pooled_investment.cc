@@ -1,0 +1,80 @@
+#include <algorithm>
+#include <cmath>
+
+#include "fusion/baselines/baselines.h"
+#include "fusion/claims.h"
+
+namespace kf::fusion {
+
+// PooledInvestment: like Investment, but the grown credit of each data
+// item's claims is linearly rescaled so the item's pool of credit is
+// conserved, which dampens the rich-get-richer dynamics.
+FusionResult RunPooledInvestment(const extract::ExtractionDataset& dataset,
+                                 const PooledInvestmentOptions& options) {
+  ClaimSet set = BuildClaimSet(dataset, options.granularity);
+  FusionResult result;
+  result.probability.assign(dataset.num_triples(), 0.0);
+  result.has_probability.assign(dataset.num_triples(), 0);
+  result.from_fallback.assign(dataset.num_triples(), 0);
+  result.num_provenances = set.num_provs;
+
+  std::vector<double> trust(set.num_provs, 1.0);
+  std::vector<double> credit(dataset.num_triples(), 0.0);
+  std::vector<uint8_t> claimed(dataset.num_triples(), 0);
+  for (const Claim& c : set.claims) claimed[c.triple] = 1;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    std::vector<double> invested(dataset.num_triples(), 0.0);
+    for (const Claim& c : set.claims) {
+      invested[c.triple] +=
+          trust[c.prov] / static_cast<double>(set.prov_claims[c.prov]);
+    }
+    // Pool per item: H(v) = invested(v) * grown(v) / sum_item grown(u).
+    std::vector<double> grown(dataset.num_triples(), 0.0);
+    std::vector<double> item_grown(dataset.num_items(), 0.0);
+    std::vector<double> item_invested(dataset.num_items(), 0.0);
+    for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+      if (!claimed[t]) continue;
+      grown[t] = std::pow(invested[t], options.growth);
+      item_grown[dataset.triple(t).item] += grown[t];
+      item_invested[dataset.triple(t).item] += invested[t];
+    }
+    for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+      if (!claimed[t]) continue;
+      kb::DataItemId item = dataset.triple(t).item;
+      credit[t] = item_grown[item] > 0.0
+                      ? item_invested[item] * grown[t] / item_grown[item]
+                      : 0.0;
+    }
+    std::vector<double> new_trust(set.num_provs, 0.0);
+    for (const Claim& c : set.claims) {
+      double share = trust[c.prov] /
+                     static_cast<double>(set.prov_claims[c.prov]);
+      if (invested[c.triple] > 0.0) {
+        new_trust[c.prov] += credit[c.triple] * share / invested[c.triple];
+      }
+    }
+    double sum = 0.0;
+    for (double t : new_trust) sum += t;
+    if (sum > 0.0) {
+      double scale = static_cast<double>(set.num_provs) / sum;
+      for (double& t : new_trust) t *= scale;
+    }
+    trust = std::move(new_trust);
+  }
+
+  std::vector<double> item_total(dataset.num_items(), 0.0);
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (claimed[t]) item_total[dataset.triple(t).item] += credit[t];
+  }
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (!claimed[t]) continue;
+    double denom = item_total[dataset.triple(t).item];
+    result.probability[t] = denom > 0.0 ? credit[t] / denom : 0.0;
+    result.has_probability[t] = 1;
+  }
+  result.num_rounds = options.max_rounds;
+  return result;
+}
+
+}  // namespace kf::fusion

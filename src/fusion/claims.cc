@@ -1,0 +1,45 @@
+#include "fusion/claims.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kf::fusion {
+
+ClaimSet BuildClaimSet(const extract::ExtractionDataset& dataset,
+                       const extract::Granularity& granularity) {
+  ClaimSet set;
+  std::unordered_map<uint64_t, uint32_t> prov_index;
+  std::unordered_map<uint64_t, uint32_t> pair_index;  // (prov, triple)
+  set.claims.reserve(dataset.num_records());
+  for (const extract::ExtractionRecord& r : dataset.records()) {
+    uint64_t key = extract::ProvenanceKey(r.prov, granularity);
+    auto [pit, pnew] =
+        prov_index.emplace(key, static_cast<uint32_t>(prov_index.size()));
+    uint32_t prov = pit->second;
+    uint64_t pair_key =
+        (static_cast<uint64_t>(prov) << 32) | static_cast<uint64_t>(r.triple);
+    auto [it, inserted] = pair_index.emplace(
+        pair_key, static_cast<uint32_t>(set.claims.size()));
+    if (inserted) {
+      Claim c;
+      c.triple = r.triple;
+      c.item = dataset.triple(r.triple).item;
+      c.prov = prov;
+      set.claims.push_back(c);
+      set.confidence.push_back(r.has_confidence ? r.confidence : -1.0f);
+    } else if (r.has_confidence) {
+      float& conf = set.confidence[it->second];
+      conf = std::max(conf, r.confidence);
+    }
+  }
+  set.num_provs = prov_index.size();
+  set.prov_claims.assign(set.num_provs, 0);
+  set.item_claims.assign(dataset.num_items(), 0);
+  for (const Claim& c : set.claims) {
+    ++set.prov_claims[c.prov];
+    ++set.item_claims[c.item];
+  }
+  return set;
+}
+
+}  // namespace kf::fusion

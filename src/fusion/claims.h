@@ -1,0 +1,41 @@
+// Shared claim construction: projects extraction records onto pseudo-source
+// claims under a provenance granularity, deduplicating (provenance, triple)
+// pairs. Used by the fusion engine, the data-fusion baselines, and the
+// Section 5 extension models.
+#ifndef KF_FUSION_CLAIMS_H_
+#define KF_FUSION_CLAIMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/dataset.h"
+#include "extract/provenance.h"
+#include "kb/ids.h"
+
+namespace kf::fusion {
+
+/// A deduplicated (provenance, triple) support pair.
+struct Claim {
+  kb::TripleId triple = 0;
+  kb::DataItemId item = 0;
+  uint32_t prov = 0;  // dense pseudo-source id under the granularity
+};
+
+struct ClaimSet {
+  std::vector<Claim> claims;
+  size_t num_provs = 0;
+  /// Claims per provenance.
+  std::vector<uint32_t> prov_claims;
+  /// Claims per data item.
+  std::vector<uint32_t> item_claims;
+  /// Max confidence any record assigned to the (prov, triple) pair, or -1
+  /// when no contributing record had a confidence.
+  std::vector<float> confidence;
+};
+
+ClaimSet BuildClaimSet(const extract::ExtractionDataset& dataset,
+                       const extract::Granularity& granularity);
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_CLAIMS_H_

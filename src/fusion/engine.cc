@@ -1,0 +1,304 @@
+#include "fusion/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "mr/mapreduce.h"
+#include "mr/reservoir.h"
+
+namespace kf::fusion {
+namespace {
+
+double Hash01(uint64_t h) {
+  return static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
+}
+
+std::unique_ptr<Scorer> MakeScorer(const FusionOptions& options) {
+  switch (options.method) {
+    case Method::kVote:
+      return std::make_unique<VoteScorer>();
+    case Method::kAccu:
+      return std::make_unique<AccuScorer>(options.n_false_values);
+    case Method::kPopAccu:
+      return std::make_unique<PopAccuScorer>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double FusionResult::Coverage() const {
+  if (has_probability.empty()) return 0.0;
+  size_t n = 0;
+  for (uint8_t h : has_probability) n += h;
+  return static_cast<double>(n) / static_cast<double>(has_probability.size());
+}
+
+FusionEngine::FusionEngine(const extract::ExtractionDataset& dataset,
+                           const FusionOptions& options)
+    : dataset_(dataset), options_(options) {
+  BuildClaims();
+}
+
+void FusionEngine::BuildClaims() {
+  ClaimSet set = BuildClaimSet(dataset_, options_.granularity);
+  claims_ = std::move(set.claims);
+  num_provs_ = set.num_provs;
+  prov_claims_ = std::move(set.prov_claims);
+
+  // Round-1 coverage filter support: items where some triple has >= 2
+  // claims.
+  std::unordered_map<uint64_t, uint32_t> triple_support;
+  for (const Claim& c : claims_) ++triple_support[c.triple];
+  item_has_multi_.assign(dataset_.num_items(), 0);
+  for (const Claim& c : claims_) {
+    if (triple_support[c.triple] >= 2) item_has_multi_[c.item] = 1;
+  }
+}
+
+void FusionEngine::InitAccuracies(const std::vector<Label>* gold) {
+  accuracy_.assign(num_provs_, options_.default_accuracy);
+  evaluated_.assign(num_provs_, 0);
+  if (!options_.init_accuracy_from_gold) return;
+  KF_CHECK(gold != nullptr);
+  KF_CHECK(gold->size() == dataset_.num_triples());
+  // Section 4.3.3: initialize each provenance's accuracy as the fraction
+  // of its triples labeled true by the (sampled) gold standard.
+  std::vector<uint32_t> labeled(num_provs_, 0);
+  std::vector<uint32_t> correct(num_provs_, 0);
+  const double rate = options_.gold_sample_rate;
+  for (const Claim& c : claims_) {
+    Label label = (*gold)[c.triple];
+    if (label == Label::kUnknown) continue;
+    if (rate < 1.0 &&
+        Hash01(HashCombine(options_.seed, c.triple)) >= rate) {
+      continue;  // triple not in the visible sample of the gold standard
+    }
+    ++labeled[c.prov];
+    if (label == Label::kTrue) ++correct[c.prov];
+  }
+  for (size_t p = 0; p < num_provs_; ++p) {
+    if (labeled[p] == 0) continue;
+    double a = static_cast<double>(correct[p]) /
+               static_cast<double>(labeled[p]);
+    accuracy_[p] = std::clamp(a, options_.accuracy_floor,
+                              options_.accuracy_ceiling);
+    evaluated_[p] = 1;
+  }
+}
+
+FusionResult FusionEngine::Run(const std::vector<Label>* gold,
+                               const RoundCallback& callback) {
+  InitAccuracies(gold);
+  std::unique_ptr<Scorer> scorer = MakeScorer(options_);
+
+  FusionResult result;
+  result.probability.assign(dataset_.num_triples(), 0.0);
+  result.has_probability.assign(dataset_.num_triples(), 0);
+  result.from_fallback.assign(dataset_.num_triples(), 0);
+  result.num_provenances = num_provs_;
+
+  const bool is_vote = options_.method == Method::kVote;
+  const size_t max_rounds = is_vote ? 1 : std::max<size_t>(1, options_.max_rounds);
+  const double theta = options_.min_provenance_accuracy;
+
+  mr::Options mr_opts;
+  mr_opts.num_workers = options_.num_workers;
+  mr_opts.num_partitions = mr::SuggestPartitions(dataset_.num_items());
+
+  // Coverage filter (Section 4.3.2): an item qualifies when some triple of
+  // it has >= 2 claims, or when a provenance with a data-driven accuracy
+  // (e.g. from gold initialization) claims it. Unqualified items are never
+  // predicted — the paper reports 8.2% of triples losing their prediction
+  // this way.
+  std::vector<uint8_t> item_qualified;
+
+  for (size_t round = 1; round <= max_rounds; ++round) {
+    // Re-qualify items each round: the evaluated-provenance set grows as
+    // Stage II assigns accuracies, unlocking more items ("provenances for
+    // which we still use the default accuracy" shrinks round over round).
+    if (options_.filter_by_coverage) {
+      item_qualified = item_has_multi_;
+      for (const Claim& c : claims_) {
+        if (evaluated_[c.prov]) item_qualified[c.item] = 1;
+      }
+    }
+    // ---- Stage I: map by data item, score triples ----
+    auto claim_passes_theta = [&](const Claim& c) {
+      return theta <= 0.0 || accuracy_[c.prov] >= theta;
+    };
+
+    struct StageIValue {
+      kb::TripleId triple;
+      float accuracy;
+      uint8_t active;     // passes the accuracy threshold
+      uint8_t evaluated;  // provenance has a data-driven accuracy
+    };
+    struct StageIOut {
+      kb::TripleId triple;
+      double prob;
+      uint8_t fallback;
+    };
+    using StageI =
+        mr::Job<Claim, kb::DataItemId, StageIValue, StageIOut>;
+    const bool prefer_evaluated =
+        options_.filter_by_coverage && round > 1;
+    std::vector<StageIOut> probs = StageI::Run(
+        claims_,
+        [&](const Claim& c, const StageI::Emit& emit) {
+          if (options_.filter_by_coverage && !item_qualified[c.item]) {
+            return;  // the item never receives a prediction
+          }
+          StageIValue v;
+          v.triple = c.triple;
+          v.accuracy = static_cast<float>(accuracy_[c.prov]);
+          v.active = claim_passes_theta(c) ? 1 : 0;
+          v.evaluated = evaluated_[c.prov];
+          emit(c.item, v);
+        },
+        [&](const kb::DataItemId& item, std::vector<StageIValue>& values,
+            const StageI::EmitOut& emit) {
+          // After round 1 the coverage filter ignores provenances still at
+          // the default accuracy, unless that would starve the item.
+          bool use_evaluated_only = false;
+          if (prefer_evaluated) {
+            for (const StageIValue& v : values) {
+              if (v.active && v.evaluated) {
+                use_evaluated_only = true;
+                break;
+              }
+            }
+          }
+          ItemClaims group;
+          for (const StageIValue& v : values) {
+            if (!v.active) continue;
+            if (use_evaluated_only && !v.evaluated) continue;
+            group.triple.push_back(v.triple);
+            group.accuracy.push_back(v.accuracy);
+          }
+          // Section 4.3.2's compensation: triples that lost every
+          // supporting provenance to the accuracy filter receive the mean
+          // accuracy of their (filtered) provenances instead of no
+          // prediction. Applied per triple so partial filtering of an item
+          // does not silently drop its other values.
+          auto emit_fallbacks =
+              [&](const std::unordered_map<kb::TripleId, uint8_t>& scored) {
+                if (theta <= 0.0) return;
+                std::unordered_map<kb::TripleId, std::pair<double, double>>
+                    agg;
+                for (const StageIValue& v : values) {
+                  if (scored.count(v.triple)) continue;
+                  auto& [sum, cnt] = agg[v.triple];
+                  sum += v.accuracy;
+                  cnt += 1.0;
+                }
+                for (const auto& [t, sc] : agg) {
+                  emit(StageIOut{t, sc.first / sc.second, 1});
+                }
+              };
+          if (group.size() == 0) {
+            emit_fallbacks({});
+            return;
+          }
+          if (group.size() > options_.sample_cap) {
+            // Reservoir-sample claims, keeping the two arrays aligned.
+            std::vector<std::pair<kb::TripleId, double>> pairs;
+            pairs.reserve(group.size());
+            for (size_t i = 0; i < group.size(); ++i) {
+              pairs.emplace_back(group.triple[i], group.accuracy[i]);
+            }
+            Rng rng(HashCombine(HashCombine(options_.seed, 0x51), item));
+            mr::ReservoirSample(&pairs, options_.sample_cap, &rng);
+            group.triple.clear();
+            group.accuracy.clear();
+            for (const auto& [t, a] : pairs) {
+              group.triple.push_back(t);
+              group.accuracy.push_back(a);
+            }
+          }
+          TripleProbs out;
+          scorer->Score(group, &out);
+          std::unordered_map<kb::TripleId, uint8_t> scored;
+          for (const auto& [t, p] : out) {
+            emit(StageIOut{t, p, 0});
+            scored.emplace(t, 1);
+          }
+          emit_fallbacks(scored);
+        },
+        mr_opts);
+
+    // Scatter round probabilities. Unpredicted triples keep their previous
+    // round's value only if they had one; a fresh mask is built per round.
+    std::fill(result.has_probability.begin(), result.has_probability.end(),
+              0);
+    std::fill(result.from_fallback.begin(), result.from_fallback.end(), 0);
+    for (const StageIOut& o : probs) {
+      result.probability[o.triple] = o.prob;
+      result.has_probability[o.triple] = 1;
+      result.from_fallback[o.triple] = o.fallback;
+    }
+    result.num_rounds = round;
+    if (callback) {
+      callback(round, result.probability, result.has_probability);
+    }
+    if (is_vote) break;
+
+    // ---- Stage II: map by provenance, re-evaluate accuracies ----
+    struct StageIIOut {
+      uint32_t prov;
+      double accuracy;
+    };
+    using StageII = mr::Job<Claim, uint32_t, float, StageIIOut>;
+    std::vector<StageIIOut> accs = StageII::Run(
+        claims_,
+        [&](const Claim& c, const StageII::Emit& emit) {
+          // Fallback probabilities are not data-driven; they must not
+          // reinforce accuracies.
+          if (!result.has_probability[c.triple] ||
+              result.from_fallback[c.triple]) {
+            return;
+          }
+          emit(c.prov, static_cast<float>(result.probability[c.triple]));
+        },
+        [&](const uint32_t& prov, std::vector<float>& values,
+            const StageII::EmitOut& emit) {
+          if (values.size() > options_.sample_cap) {
+            Rng rng(HashCombine(HashCombine(options_.seed, 0x52), prov));
+            mr::ReservoirSample(&values, options_.sample_cap, &rng);
+          }
+          double sum = 0.0;
+          for (float v : values) sum += v;
+          emit(StageIIOut{prov,
+                          sum / static_cast<double>(values.size())});
+        },
+        mr_opts);
+
+    double max_delta = 0.0;
+    for (const StageIIOut& o : accs) {
+      double a = std::clamp(o.accuracy, options_.accuracy_floor,
+                            options_.accuracy_ceiling);
+      max_delta = std::max(max_delta, std::fabs(a - accuracy_[o.prov]));
+      accuracy_[o.prov] = a;
+      evaluated_[o.prov] = 1;
+    }
+    if (round > 1 && max_delta < options_.convergence_epsilon) break;
+  }
+
+  result.num_unevaluated_provenances = 0;
+  for (uint8_t e : evaluated_) {
+    if (!e) ++result.num_unevaluated_provenances;
+  }
+  return result;
+}
+
+FusionResult Fuse(const extract::ExtractionDataset& dataset,
+                  const FusionOptions& options,
+                  const std::vector<Label>* gold) {
+  FusionEngine engine(dataset, options);
+  return engine.Run(gold);
+}
+
+}  // namespace kf::fusion

@@ -1,0 +1,90 @@
+// The knowledge-fusion engine: the three-stage MapReduce architecture of
+// Fig. 8. Stage I partitions claims by data item and scores triples; Stage
+// II partitions by provenance and re-evaluates accuracies; the two iterate
+// up to R rounds (VOTE needs one round). Stage III deduplication is
+// inherent here because claims reference interned unique triples.
+#ifndef KF_FUSION_ENGINE_H_
+#define KF_FUSION_ENGINE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/label.h"
+#include "extract/dataset.h"
+#include "fusion/claims.h"
+#include "fusion/options.h"
+#include "fusion/scorer.h"
+
+namespace kf::fusion {
+
+struct FusionResult {
+  /// Per unique triple (indexed by TripleId): predicted probability that
+  /// the triple is true. Valid only where has_probability is set;
+  /// provenance filtering can leave triples without a prediction
+  /// (Section 4.3.2 reports 8.2% unpredicted under the coverage filter).
+  std::vector<double> probability;
+  std::vector<uint8_t> has_probability;
+  /// Set where the probability came from the average-accuracy fallback
+  /// (all provenances of the item were filtered by accuracy).
+  std::vector<uint8_t> from_fallback;
+
+  size_t num_rounds = 0;
+  size_t num_provenances = 0;
+  /// Provenances that never received a data-driven accuracy.
+  size_t num_unevaluated_provenances = 0;
+
+  /// Fraction of unique triples that received a probability.
+  double Coverage() const;
+};
+
+class FusionEngine {
+ public:
+  /// Observes probabilities after each round's Stage I (Fig. 14 traces).
+  using RoundCallback = std::function<void(
+      size_t round, const std::vector<double>& probability,
+      const std::vector<uint8_t>& has_probability)>;
+
+  FusionEngine(const extract::ExtractionDataset& dataset,
+               const FusionOptions& options);
+
+  /// Runs fusion. `gold` (triple labels) is required when
+  /// options.init_accuracy_from_gold is set; otherwise it may be null.
+  FusionResult Run(const std::vector<Label>* gold = nullptr,
+                   const RoundCallback& callback = RoundCallback());
+
+  // ---- introspection (valid after Run) ----
+  size_t num_provenances() const { return num_provs_; }
+  size_t num_claims() const { return claims_.size(); }
+  const std::vector<double>& provenance_accuracy() const { return accuracy_; }
+  /// Number of claims of each provenance.
+  const std::vector<uint32_t>& provenance_claims() const {
+    return prov_claims_;
+  }
+
+ private:
+  void BuildClaims();
+  void InitAccuracies(const std::vector<Label>* gold);
+
+  const extract::ExtractionDataset& dataset_;
+  FusionOptions options_;
+
+  std::vector<Claim> claims_;
+  size_t num_provs_ = 0;
+  std::vector<uint32_t> prov_claims_;
+  std::vector<double> accuracy_;
+  /// Whether the provenance's accuracy is data-driven (vs. still default).
+  std::vector<uint8_t> evaluated_;
+  /// Data items where some triple has >= 2 supporting claims (round-1
+  /// coverage filter).
+  std::vector<uint8_t> item_has_multi_;
+};
+
+/// Convenience wrapper: construct + run.
+FusionResult Fuse(const extract::ExtractionDataset& dataset,
+                  const FusionOptions& options,
+                  const std::vector<Label>* gold = nullptr);
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_ENGINE_H_

@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "fusion/claims.h"
+#include "fusion/ext/extensions.h"
+
+namespace kf::fusion {
+namespace {
+
+// Per-extractor recalibration table: maps a raw confidence bucket to the
+// empirical accuracy of gold-labeled unique triples in that bucket. This
+// is the principled fix for Fig. 21: extractors whose confidences are
+// bimodal, inverted, or uninformative all become comparable.
+struct Recalibration {
+  std::vector<double> bucket_accuracy;  // size = buckets
+  double fallback = 0.5;                // extractor-wide accuracy
+
+  double Map(float conf, int buckets) const {
+    int b = std::min(buckets - 1,
+                     std::max(0, static_cast<int>(conf * buckets)));
+    return bucket_accuracy[static_cast<size_t>(b)];
+  }
+};
+
+}  // namespace
+
+FusionResult RunConfidenceWeighted(const extract::ExtractionDataset& dataset,
+                                   const ConfidenceWeightedOptions& options,
+                                   const std::vector<Label>& gold) {
+  KF_CHECK(gold.size() == dataset.num_triples());
+  const int buckets = options.calibration_buckets;
+  const size_t n_ext = dataset.num_extractors();
+
+  // ---- build recalibration tables ----
+  // Unique (extractor, triple) max confidence.
+  std::vector<std::unordered_map<kb::TripleId, float>> max_conf(n_ext);
+  for (const extract::ExtractionRecord& r : dataset.records()) {
+    if (!r.has_confidence) continue;
+    auto [it, inserted] =
+        max_conf[r.prov.extractor].emplace(r.triple, r.confidence);
+    if (!inserted) it->second = std::max(it->second, r.confidence);
+  }
+  std::vector<Recalibration> recal(n_ext);
+  for (size_t e = 0; e < n_ext; ++e) {
+    std::vector<double> true_cnt(buckets, 0.0);
+    std::vector<double> total_cnt(buckets, 0.0);
+    double all_true = 0.0, all_total = 0.0;
+    for (const auto& [t, conf] : max_conf[e]) {
+      if (gold[t] == Label::kUnknown) continue;
+      int b = std::min(buckets - 1,
+                       std::max(0, static_cast<int>(conf * buckets)));
+      total_cnt[static_cast<size_t>(b)] += 1.0;
+      all_total += 1.0;
+      if (gold[t] == Label::kTrue) {
+        true_cnt[static_cast<size_t>(b)] += 1.0;
+        all_true += 1.0;
+      }
+    }
+    Recalibration& r = recal[e];
+    r.fallback = all_total > 0.0 ? all_true / all_total : 0.5;
+    r.bucket_accuracy.assign(buckets, r.fallback);
+    for (int b = 0; b < buckets; ++b) {
+      if (total_cnt[static_cast<size_t>(b)] >= 10.0) {
+        r.bucket_accuracy[static_cast<size_t>(b)] =
+            true_cnt[static_cast<size_t>(b)] /
+            total_cnt[static_cast<size_t>(b)];
+      }
+    }
+  }
+
+  // ---- weighted POPACCU over claims ----
+  // Claims keyed at the configured granularity carry a weight: the
+  // recalibrated confidence of the best supporting record (or the
+  // extractor-wide accuracy when no confidence is available).
+  ClaimSet set = BuildClaimSet(dataset, options.base.granularity);
+  // Recover a representative extractor per claim to map confidences:
+  // BuildClaimSet keeps the max confidence but not the extractor, so
+  // rebuild the per-claim weight from records directly.
+  std::unordered_map<uint64_t, double> pair_weight;
+  {
+    std::unordered_map<uint64_t, uint32_t> prov_index;
+    for (const extract::ExtractionRecord& r : dataset.records()) {
+      uint64_t key =
+          extract::ProvenanceKey(r.prov, options.base.granularity);
+      auto [pit, pnew] =
+          prov_index.emplace(key, static_cast<uint32_t>(prov_index.size()));
+      uint64_t pair_key = (static_cast<uint64_t>(pit->second) << 32) |
+                          static_cast<uint64_t>(r.triple);
+      double w = r.has_confidence
+                     ? recal[r.prov.extractor].Map(r.confidence, buckets)
+                     : recal[r.prov.extractor].fallback;
+      auto [it, inserted] = pair_weight.emplace(pair_key, w);
+      if (!inserted) it->second = std::max(it->second, w);
+    }
+  }
+
+  FusionResult result;
+  result.probability.assign(dataset.num_triples(), 0.0);
+  result.has_probability.assign(dataset.num_triples(), 0);
+  result.from_fallback.assign(dataset.num_triples(), 0);
+  result.num_provenances = set.num_provs;
+
+  // Iterative weighted fusion: provenance accuracy = weighted mean triple
+  // probability; triple score = sum of weighted log-odds (POPACCU-style
+  // popularity correction).
+  std::vector<double> accuracy(set.num_provs, options.base.default_accuracy);
+  std::vector<std::vector<uint32_t>> by_item(dataset.num_items());
+  for (uint32_t i = 0; i < set.claims.size(); ++i) {
+    by_item[set.claims[i].item].push_back(i);
+  }
+  std::vector<double> weight(set.claims.size(), options.min_weight);
+  for (uint32_t i = 0; i < set.claims.size(); ++i) {
+    const Claim& c = set.claims[i];
+    uint64_t pair_key = (static_cast<uint64_t>(c.prov) << 32) |
+                        static_cast<uint64_t>(c.triple);
+    auto it = pair_weight.find(pair_key);
+    if (it != pair_weight.end()) {
+      weight[i] = std::max(options.min_weight, it->second);
+    }
+  }
+
+  const size_t rounds = std::max<size_t>(1, options.base.max_rounds);
+  for (size_t round = 0; round < rounds; ++round) {
+    for (kb::DataItemId item = 0; item < dataset.num_items(); ++item) {
+      const auto& cl = by_item[item];
+      if (cl.empty()) continue;
+      std::unordered_map<kb::TripleId, double> logodds;
+      std::unordered_map<kb::TripleId, double> count;
+      double n = 0.0;
+      for (uint32_t ci : cl) {
+        const Claim& c = set.claims[ci];
+        double a = std::clamp(accuracy[c.prov], 0.01, 0.99);
+        logodds[c.triple] += weight[ci] * std::log(a / (1.0 - a));
+        count[c.triple] += weight[ci];
+        n += weight[ci];
+      }
+      double max_score = 0.0;
+      std::unordered_map<kb::TripleId, double> score;
+      for (const auto& [t, lo] : logodds) {
+        double c = count[t];
+        double s = lo - c * std::log(c / n);
+        if (n - c > 1e-12) s += (n - c) * std::log(n / (n - c));
+        score[t] = s;
+        max_score = std::max(max_score, s);
+      }
+      double total = std::exp(-max_score);
+      for (const auto& [t, s] : score) total += std::exp(s - max_score);
+      for (const auto& [t, s] : score) {
+        result.probability[t] = std::exp(s - max_score) / total;
+        result.has_probability[t] = 1;
+      }
+    }
+    // Re-evaluate provenance accuracies (weighted).
+    std::vector<double> acc_sum(set.num_provs, 0.0);
+    std::vector<double> acc_w(set.num_provs, 0.0);
+    for (uint32_t i = 0; i < set.claims.size(); ++i) {
+      const Claim& c = set.claims[i];
+      acc_sum[c.prov] += weight[i] * result.probability[c.triple];
+      acc_w[c.prov] += weight[i];
+    }
+    for (size_t p = 0; p < set.num_provs; ++p) {
+      if (acc_w[p] > 0.0) {
+        accuracy[p] = std::clamp(acc_sum[p] / acc_w[p], 0.01, 0.99);
+      }
+    }
+  }
+  result.num_rounds = rounds;
+  return result;
+}
+
+}  // namespace kf::fusion

@@ -1,0 +1,134 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "fusion/claims.h"
+#include "fusion/ext/extensions.h"
+
+namespace kf::fusion {
+
+// Per-triple independent posterior:
+//   odds(t) = prior_odds * prod_{S claims t} (se_S / fp_S)
+//                        * prod_{S covers item, no claim} ((1-se_S)/(1-fp_S))
+// where "covers item" means the provenance claimed some value for t's data
+// item. se and fp are re-estimated from the posterior each round.
+FusionResult RunLatentTruth(const extract::ExtractionDataset& dataset,
+                            const LatentTruthOptions& options) {
+  ClaimSet set = BuildClaimSet(dataset, options.granularity);
+  FusionResult result;
+  result.probability.assign(dataset.num_triples(), 0.0);
+  result.has_probability.assign(dataset.num_triples(), 0);
+  result.from_fallback.assign(dataset.num_triples(), 0);
+  result.num_provenances = set.num_provs;
+
+  std::vector<uint8_t> claimed(dataset.num_triples(), 0);
+  for (const Claim& c : set.claims) claimed[c.triple] = 1;
+
+  // Index: claims grouped by item, and per provenance the set of items it
+  // covers (represented through its claims; a provenance covering an item
+  // without claiming triple t contributes absence evidence for t).
+  std::vector<std::vector<uint32_t>> item_claims(dataset.num_items());
+  for (uint32_t i = 0; i < set.claims.size(); ++i) {
+    item_claims[set.claims[i].item].push_back(i);
+  }
+
+  std::vector<double> prob(dataset.num_triples(), options.prior_true);
+  std::vector<double> se(set.num_provs, options.init_sensitivity);
+  std::vector<double> fp(set.num_provs, options.init_false_pos);
+  const double prior_logodds =
+      std::log(options.prior_true / (1.0 - options.prior_true));
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    // E-step: per-triple posterior.
+    for (kb::DataItemId item = 0; item < dataset.num_items(); ++item) {
+      const auto& cl = item_claims[item];
+      if (cl.empty()) continue;
+      // Distinct provenances covering the item.
+      // For each claimed triple t of the item: claimants add the presence
+      // ratio; the other covering provenances add the absence ratio.
+      double absence_all = 0.0;
+      std::vector<uint32_t> provs;
+      provs.reserve(cl.size());
+      for (uint32_t ci : cl) {
+        uint32_t p = set.claims[ci].prov;
+        provs.push_back(p);
+      }
+      std::sort(provs.begin(), provs.end());
+      provs.erase(std::unique(provs.begin(), provs.end()), provs.end());
+      for (uint32_t p : provs) {
+        absence_all += std::log((1.0 - se[p]) / (1.0 - fp[p]));
+      }
+      // Group claims by triple.
+      std::unordered_map<kb::TripleId, double> presence;
+      std::unordered_map<kb::TripleId, double> absence_of_claimants;
+      for (uint32_t ci : cl) {
+        const Claim& c = set.claims[ci];
+        presence[c.triple] += std::log(se[c.prov] / fp[c.prov]);
+        absence_of_claimants[c.triple] +=
+            std::log((1.0 - se[c.prov]) / (1.0 - fp[c.prov]));
+      }
+      for (const auto& [t, pres] : presence) {
+        double logodds = prior_logodds + pres +
+                         (absence_all - absence_of_claimants[t]);
+        prob[t] = 1.0 / (1.0 + std::exp(-logodds));
+      }
+    }
+    // M-step: re-estimate sensitivity / false-positive rate per
+    // provenance from expected counts over the items it covers.
+    std::vector<double> claim_true(set.num_provs, 0.0);
+    std::vector<double> claim_false(set.num_provs, 0.0);
+    std::vector<double> cover_true(set.num_provs, 0.0);
+    std::vector<double> cover_false(set.num_provs, 0.0);
+    // A provenance covering item I is exposed to every claimed triple of
+    // I; it claimed some subset of them.
+    for (kb::DataItemId item = 0; item < dataset.num_items(); ++item) {
+      const auto& cl = item_claims[item];
+      if (cl.empty()) continue;
+      double item_true_mass = 0.0;
+      double item_false_mass = 0.0;
+      std::unordered_map<kb::TripleId, uint8_t> seen;
+      for (uint32_t ci : cl) {
+        kb::TripleId t = set.claims[ci].triple;
+        if (seen.emplace(t, 1).second) {
+          item_true_mass += prob[t];
+          item_false_mass += 1.0 - prob[t];
+        }
+      }
+      std::vector<uint32_t> provs;
+      for (uint32_t ci : cl) provs.push_back(set.claims[ci].prov);
+      std::sort(provs.begin(), provs.end());
+      provs.erase(std::unique(provs.begin(), provs.end()), provs.end());
+      for (uint32_t p : provs) {
+        cover_true[p] += item_true_mass;
+        cover_false[p] += item_false_mass;
+      }
+      for (uint32_t ci : cl) {
+        const Claim& c = set.claims[ci];
+        claim_true[c.prov] += prob[c.triple];
+        claim_false[c.prov] += 1.0 - prob[c.triple];
+      }
+    }
+    for (size_t p = 0; p < set.num_provs; ++p) {
+      if (set.prov_claims[p] < options.min_claims) continue;
+      if (cover_true[p] > 1e-9) {
+        se[p] = std::clamp(claim_true[p] / cover_true[p], 0.05, 0.95);
+      }
+      if (cover_false[p] > 1e-9) {
+        fp[p] = std::clamp(claim_false[p] / cover_false[p], 0.01, 0.9);
+      }
+      // Keep the model identifiable: sensitivity must exceed the false
+      // positive rate or the likelihood ratio inverts.
+      if (se[p] <= fp[p] + 0.01) se[p] = std::min(0.95, fp[p] + 0.05);
+    }
+  }
+
+  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (!claimed[t]) continue;
+    result.probability[t] = prob[t];
+    result.has_probability[t] = 1;
+  }
+  result.num_rounds = options.max_rounds;
+  return result;
+}
+
+}  // namespace kf::fusion

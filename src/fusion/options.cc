@@ -1,0 +1,69 @@
+#include "fusion/options.h"
+
+#include "common/string_util.h"
+
+namespace kf::fusion {
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kVote:
+      return "VOTE";
+    case Method::kAccu:
+      return "ACCU";
+    case Method::kPopAccu:
+      return "POPACCU";
+  }
+  return "???";
+}
+
+FusionOptions FusionOptions::Vote() {
+  FusionOptions o;
+  o.method = Method::kVote;
+  return o;
+}
+
+FusionOptions FusionOptions::Accu() {
+  FusionOptions o;
+  o.method = Method::kAccu;
+  return o;
+}
+
+FusionOptions FusionOptions::PopAccu() {
+  FusionOptions o;
+  o.method = Method::kPopAccu;
+  return o;
+}
+
+FusionOptions FusionOptions::PopAccuPlusUnsup() {
+  FusionOptions o;
+  o.method = Method::kPopAccu;
+  o.filter_by_coverage = true;
+  o.granularity = extract::Granularity::ExtractorSitePredicatePattern();
+  // The paper's best stack used theta = 0.5; on the synthetic corpus the
+  // provenance-accuracy distribution is mid-heavy rather than bimodal, so
+  // the useful range of the filter sits lower (see bench_fig11_selection).
+  o.min_provenance_accuracy = 0.25;
+  return o;
+}
+
+FusionOptions FusionOptions::PopAccuPlus() {
+  FusionOptions o = PopAccuPlusUnsup();
+  o.init_accuracy_from_gold = true;
+  o.gold_sample_rate = 1.0;
+  return o;
+}
+
+std::string FusionOptions::ToString() const {
+  std::string out = MethodName(method);
+  out += " prov=" + granularity.ToString();
+  if (filter_by_coverage) out += " +FilterByCov";
+  if (min_provenance_accuracy > 0.0) {
+    out += StrFormat(" +FilterByAccu(%.2f)", min_provenance_accuracy);
+  }
+  if (init_accuracy_from_gold) {
+    out += StrFormat(" +InitAccuByGS(%.0f%%)", gold_sample_rate * 100.0);
+  }
+  return out;
+}
+
+}  // namespace kf::fusion

@@ -1,0 +1,77 @@
+// Configuration of the knowledge-fusion engine: the base method (VOTE /
+// ACCU / POPACCU of Section 4.1), the provenance granularity (Section
+// 4.3.1), the provenance filters (4.3.2), the gold-standard accuracy
+// initialization (4.3.3), and the execution knobs L and R (4.3.5).
+#ifndef KF_FUSION_OPTIONS_H_
+#define KF_FUSION_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "extract/provenance.h"
+
+namespace kf::fusion {
+
+enum class Method : uint8_t {
+  kVote = 0,
+  kAccu = 1,
+  kPopAccu = 2,
+};
+
+const char* MethodName(Method m);
+
+struct FusionOptions {
+  Method method = Method::kPopAccu;
+  extract::Granularity granularity = extract::Granularity::ExtractorUrl();
+
+  /// A0: accuracy assigned to a provenance before any evidence (Sec 4.1).
+  double default_accuracy = 0.8;
+  /// N: assumed number of uniformly distributed false values (ACCU only).
+  double n_false_values = 100.0;
+  /// R: forced termination after this many rounds.
+  size_t max_rounds = 5;
+  /// Early stop when no provenance accuracy moves more than this.
+  double convergence_epsilon = 1e-4;
+  /// L: reservoir-sample cap per reducer group (both stages).
+  size_t sample_cap = 1000000;
+
+  // ---- refinements (Section 4.3) ----
+  /// Filter provenances by coverage: round 1 only evaluates data items
+  /// where some triple was extracted more than once; later rounds ignore
+  /// provenances still carrying the default accuracy.
+  bool filter_by_coverage = false;
+  /// θ: ignore provenances with accuracy below this (0 disables). Items
+  /// losing every provenance fall back to the mean provenance accuracy.
+  double min_provenance_accuracy = 0.0;
+  /// Initialize provenance accuracy against the (sampled) gold standard
+  /// instead of default_accuracy; requires labels at Run time.
+  bool init_accuracy_from_gold = false;
+  /// Fraction of the gold standard visible for initialization (Fig. 12).
+  double gold_sample_rate = 1.0;
+
+  // ---- execution ----
+  size_t num_workers = 0;  // 0 = hardware concurrency
+  uint64_t seed = 7;       // reservoir sampling / gold sampling
+
+  /// Clamp provenance accuracies away from 0/1 so log-odds stay finite.
+  double accuracy_floor = 0.01;
+  double accuracy_ceiling = 0.99;
+
+  // ---- presets used throughout the benches ----
+  static FusionOptions Vote();
+  static FusionOptions Accu();
+  static FusionOptions PopAccu();
+  /// POPACCU + filter-by-coverage + (Extractor, Site, Predicate, Pattern)
+  /// granularity + filter-by-accuracy(0.5): the unsupervised stack.
+  static FusionOptions PopAccuPlusUnsup();
+  /// POPACCU+ : the full semi-supervised stack (adds gold-standard
+  /// accuracy initialization).
+  static FusionOptions PopAccuPlus();
+
+  std::string ToString() const;
+};
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_OPTIONS_H_

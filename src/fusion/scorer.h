@@ -1,0 +1,71 @@
+// Per-data-item truth scoring. The engine groups claims by data item
+// (Stage I of Fig. 8) and hands each group to a Scorer, which assigns every
+// distinct claimed triple a truthfulness probability. All three scorers
+// share the single-truth assumption of Section 4.1: probabilities of the
+// triples of one data item sum to at most 1, with the remainder assigned to
+// "some unobserved value".
+#ifndef KF_FUSION_SCORER_H_
+#define KF_FUSION_SCORER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kf::fusion {
+
+/// One data item's claims after filtering and sampling. Parallel arrays:
+/// claim i says triple[i] with the claiming provenance's accuracy
+/// accuracy[i]. A (provenance, triple) pair appears at most once.
+struct ItemClaims {
+  std::vector<kb::TripleId> triple;
+  std::vector<double> accuracy;
+
+  size_t size() const { return triple.size(); }
+};
+
+/// Output: (triple, probability) for each distinct triple in the group.
+using TripleProbs = std::vector<std::pair<kb::TripleId, double>>;
+
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Computes probabilities for every distinct triple in `claims`.
+  /// `claims` is non-empty. Appends to `out`.
+  virtual void Score(const ItemClaims& claims, TripleProbs* out) const = 0;
+};
+
+/// VOTE (Section 4.1): p(T) = m/n where the data item has n claims and m of
+/// them support T.
+class VoteScorer : public Scorer {
+ public:
+  void Score(const ItemClaims& claims, TripleProbs* out) const override;
+};
+
+/// ACCU (Dong et al., PVLDB 2009, as adapted in Section 4.1): Bayesian
+/// analysis under (1) single truth, (2) N uniformly distributed false
+/// values, (3) independent sources.
+class AccuScorer : public Scorer {
+ public:
+  explicit AccuScorer(double n_false_values)
+      : n_false_values_(n_false_values) {}
+
+  void Score(const ItemClaims& claims, TripleProbs* out) const override;
+
+ private:
+  double n_false_values_;
+};
+
+/// POPACCU (Dong et al., PVLDB 2013): like ACCU but the false-value
+/// distribution is the empirical popularity of the observed values, making
+/// the method robust to copied false values.
+class PopAccuScorer : public Scorer {
+ public:
+  void Score(const ItemClaims& claims, TripleProbs* out) const override;
+};
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_SCORER_H_

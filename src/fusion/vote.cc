@@ -1,0 +1,16 @@
+#include <unordered_map>
+
+#include "fusion/scorer.h"
+
+namespace kf::fusion {
+
+void VoteScorer::Score(const ItemClaims& claims, TripleProbs* out) const {
+  std::unordered_map<kb::TripleId, uint32_t> votes;
+  for (kb::TripleId t : claims.triple) ++votes[t];
+  const double n = static_cast<double>(claims.size());
+  for (const auto& [t, m] : votes) {
+    out->emplace_back(t, static_cast<double>(m) / n);
+  }
+}
+
+}  // namespace kf::fusion

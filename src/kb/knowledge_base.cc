@@ -1,0 +1,46 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+namespace kf::kb {
+namespace {
+const std::vector<ValueId>& EmptyValues() {
+  static const std::vector<ValueId>& empty = *new std::vector<ValueId>();
+  return empty;
+}
+}  // namespace
+
+bool KnowledgeBase::AddTriple(const DataItem& item, ValueId value) {
+  auto& values = items_[item];
+  if (std::find(values.begin(), values.end(), value) != values.end()) {
+    return false;
+  }
+  values.push_back(value);
+  ++num_triples_;
+  return true;
+}
+
+bool KnowledgeBase::Contains(const DataItem& item, ValueId value) const {
+  auto it = items_.find(item);
+  if (it == items_.end()) return false;
+  const auto& values = it->second;
+  return std::find(values.begin(), values.end(), value) != values.end();
+}
+
+bool KnowledgeBase::HasItem(const DataItem& item) const {
+  return items_.count(item) > 0;
+}
+
+const std::vector<ValueId>& KnowledgeBase::Values(const DataItem& item) const {
+  auto it = items_.find(item);
+  if (it == items_.end()) return EmptyValues();
+  return it->second;
+}
+
+void KnowledgeBase::ForEachItem(
+    const std::function<void(const DataItem&, const std::vector<ValueId>&)>&
+        fn) const {
+  for (const auto& [item, values] : items_) fn(item, values);
+}
+
+}  // namespace kf::kb

@@ -1,0 +1,53 @@
+// An in-memory triple store keyed by data item. Plays the role of Freebase
+// in the paper: the gold standard is derived from it under the local
+// closed-world assumption (eval/gold_standard.h), and examples enrich it
+// with fused triples.
+#ifndef KF_KB_KNOWLEDGE_BASE_H_
+#define KF_KB_KNOWLEDGE_BASE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kf::kb {
+
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  /// Adds (item, value); returns false if the triple was already present.
+  bool AddTriple(const DataItem& item, ValueId value);
+
+  /// True if the exact triple is present.
+  bool Contains(const DataItem& item, ValueId value) const;
+
+  /// True if the KB has at least one value for the data item. Under LCWA
+  /// this is the "Freebase knows this data item" test of Section 3.2.1.
+  bool HasItem(const DataItem& item) const;
+
+  /// Values recorded for a data item (empty if the item is unknown).
+  const std::vector<ValueId>& Values(const DataItem& item) const;
+
+  /// Invokes fn for every (item, values) pair. Iteration order is
+  /// unspecified.
+  void ForEachItem(
+      const std::function<void(const DataItem&, const std::vector<ValueId>&)>&
+          fn) const;
+
+  size_t num_items() const { return items_.size(); }
+  size_t num_triples() const { return num_triples_; }
+
+ private:
+  std::unordered_map<DataItem, std::vector<ValueId>, DataItemHash> items_;
+  size_t num_triples_ = 0;
+};
+
+}  // namespace kf::kb
+
+#endif  // KF_KB_KNOWLEDGE_BASE_H_

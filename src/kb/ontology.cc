@@ -1,0 +1,39 @@
+#include "kb/ontology.h"
+
+#include "common/logging.h"
+
+namespace kf::kb {
+
+TypeId Ontology::AddType(TypeInfo info) {
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(std::move(info));
+  return id;
+}
+
+PredicateId Ontology::AddPredicate(PredicateInfo info) {
+  KF_CHECK(info.subject_type < types_.size());
+  KF_CHECK(info.mean_truths >= 1.0);
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(std::move(info));
+  return id;
+}
+
+const TypeInfo& Ontology::type(TypeId id) const {
+  KF_DCHECK(id < types_.size());
+  return types_[id];
+}
+
+const PredicateInfo& Ontology::predicate(PredicateId id) const {
+  KF_DCHECK(id < predicates_.size());
+  return predicates_[id];
+}
+
+std::vector<PredicateId> Ontology::PredicatesOfType(TypeId type) const {
+  std::vector<PredicateId> out;
+  for (PredicateId p = 0; p < predicates_.size(); ++p) {
+    if (predicates_[p].subject_type == type) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace kf::kb

@@ -1,0 +1,67 @@
+// Freebase-style ontology: a shallow two-level type hierarchy
+// (domain/type, e.g. "people/person") and a flat predicate vocabulary.
+// Predicates carry the metadata the paper's analysis depends on:
+// functionality (Section 5.3) and whether object values live in a
+// containment hierarchy (Section 5.4).
+#ifndef KF_KB_ONTOLOGY_H_
+#define KF_KB_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/ids.h"
+#include "kb/value.h"
+
+namespace kf::kb {
+
+struct TypeInfo {
+  std::string domain;  // first level, e.g. "people"
+  std::string name;    // second level, e.g. "person"
+
+  std::string FullName() const { return domain + "/" + name; }
+};
+
+struct PredicateInfo {
+  std::string name;
+  TypeId subject_type = kInvalidId;
+  ValueKind object_kind = ValueKind::kEntity;
+  /// True if a data item with this predicate has a single true value
+  /// (e.g. birth date); false for multi-valued predicates (e.g. children).
+  bool functional = true;
+  /// Expected number of true values per data item for non-functional
+  /// predicates (>= 1). Ignored when functional.
+  double mean_truths = 1.0;
+  /// True if object values are entities within a containment hierarchy
+  /// (e.g. city < state < country), enabling specific/general variants.
+  bool hierarchical_values = false;
+};
+
+/// Immutable-after-build registry of types and predicates.
+class Ontology {
+ public:
+  Ontology() = default;
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  TypeId AddType(TypeInfo info);
+  PredicateId AddPredicate(PredicateInfo info);
+
+  const TypeInfo& type(TypeId id) const;
+  const PredicateInfo& predicate(PredicateId id) const;
+
+  size_t num_types() const { return types_.size(); }
+  size_t num_predicates() const { return predicates_.size(); }
+
+  /// All predicates whose subject type is `type`.
+  std::vector<PredicateId> PredicatesOfType(TypeId type) const;
+
+ private:
+  std::vector<TypeInfo> types_;
+  std::vector<PredicateInfo> predicates_;
+};
+
+}  // namespace kf::kb
+
+#endif  // KF_KB_ONTOLOGY_H_

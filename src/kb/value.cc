@@ -1,0 +1,69 @@
+#include "kb/value.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace kf::kb {
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ValueKind::kEntity:
+      return a.entity == b.entity;
+    case ValueKind::kString:
+      return a.string_id == b.string_id;
+    case ValueKind::kNumber:
+      return a.number == b.number;
+  }
+  return false;
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  uint64_t payload = 0;
+  switch (v.kind) {
+    case ValueKind::kEntity:
+      payload = v.entity;
+      break;
+    case ValueKind::kString:
+      payload = v.string_id;
+      break;
+    case ValueKind::kNumber: {
+      uint64_t bits;
+      std::memcpy(&bits, &v.number, sizeof(bits));
+      payload = bits;
+      break;
+    }
+  }
+  return static_cast<size_t>(
+      kf::HashCombine(kf::Mix64(static_cast<uint64_t>(v.kind)), payload));
+}
+
+ValueId ValueTable::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  return id;
+}
+
+ValueId ValueTable::Find(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+const Value& ValueTable::Get(ValueId id) const {
+  KF_DCHECK(id < values_.size());
+  return values_[id];
+}
+
+size_t ValueTable::CountOfKind(ValueKind kind) const {
+  size_t n = 0;
+  for (const auto& v : values_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace kf::kb

@@ -1,0 +1,86 @@
+// Object values of knowledge triples. A value is an entity reference, a raw
+// string, or a number (Section 3.1.1: "Each object can be an entity in
+// Freebase, a string, or a number"). Values are interned into dense ValueIds
+// by ValueTable.
+#ifndef KF_KB_VALUE_H_
+#define KF_KB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "kb/ids.h"
+
+namespace kf::kb {
+
+enum class ValueKind : uint8_t {
+  kEntity = 0,
+  kString = 1,
+  kNumber = 2,
+};
+
+/// A triple object. Strings are referenced by interner id (the owning
+/// corpus keeps the string pool); numbers are exact-compared doubles.
+struct Value {
+  ValueKind kind = ValueKind::kEntity;
+  EntityId entity = kInvalidId;  // valid when kind == kEntity
+  uint32_t string_id = kInvalidId;  // valid when kind == kString
+  double number = 0.0;  // valid when kind == kNumber
+
+  static Value OfEntity(EntityId e) {
+    Value v;
+    v.kind = ValueKind::kEntity;
+    v.entity = e;
+    return v;
+  }
+  static Value OfString(uint32_t string_id) {
+    Value v;
+    v.kind = ValueKind::kString;
+    v.string_id = string_id;
+    return v;
+  }
+  static Value OfNumber(double number) {
+    Value v;
+    v.kind = ValueKind::kNumber;
+    v.number = number;
+    return v;
+  }
+
+  friend bool operator==(const Value& a, const Value& b);
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+/// Interns Values into dense ValueIds and resolves them back.
+class ValueTable {
+ public:
+  ValueTable() = default;
+  ValueTable(const ValueTable&) = delete;
+  ValueTable& operator=(const ValueTable&) = delete;
+  ValueTable(ValueTable&&) = default;
+  ValueTable& operator=(ValueTable&&) = default;
+
+  ValueId Intern(const Value& v);
+
+  /// Returns the id of `v`, or kInvalidId when never interned.
+  ValueId Find(const Value& v) const;
+
+  const Value& Get(ValueId id) const;
+
+  size_t size() const { return values_.size(); }
+
+  /// Number of distinct interned values of the given kind.
+  size_t CountOfKind(ValueKind kind) const;
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> index_;
+};
+
+}  // namespace kf::kb
+
+#endif  // KF_KB_VALUE_H_

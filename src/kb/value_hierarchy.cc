@@ -1,0 +1,59 @@
+#include "kb/value_hierarchy.h"
+
+#include "common/logging.h"
+
+namespace kf::kb {
+namespace {
+// Any chain longer than this indicates a cycle (real hierarchies in the
+// corpus are <= 5 levels deep).
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+void ValueHierarchy::SetParent(ValueId child, ValueId parent) {
+  KF_CHECK(child != parent);
+  parent_[child] = parent;
+}
+
+ValueId ValueHierarchy::ParentOf(ValueId v) const {
+  auto it = parent_.find(v);
+  return it == parent_.end() ? kInvalidId : it->second;
+}
+
+std::vector<ValueId> ValueHierarchy::AncestorsOf(ValueId v) const {
+  std::vector<ValueId> out;
+  ValueId cur = ParentOf(v);
+  while (cur != kInvalidId) {
+    out.push_back(cur);
+    KF_CHECK(out.size() <= kMaxDepth);
+    cur = ParentOf(cur);
+  }
+  return out;
+}
+
+bool ValueHierarchy::IsAncestorOf(ValueId ancestor, ValueId descendant) const {
+  int steps = 0;
+  ValueId cur = ParentOf(descendant);
+  while (cur != kInvalidId) {
+    if (cur == ancestor) return true;
+    KF_CHECK(++steps <= kMaxDepth);
+    cur = ParentOf(cur);
+  }
+  return false;
+}
+
+bool ValueHierarchy::Compatible(ValueId a, ValueId b) const {
+  return a == b || IsAncestorOf(a, b) || IsAncestorOf(b, a);
+}
+
+int ValueHierarchy::Depth(ValueId v) const {
+  int depth = 0;
+  ValueId cur = ParentOf(v);
+  while (cur != kInvalidId) {
+    ++depth;
+    KF_CHECK(depth <= kMaxDepth);
+    cur = ParentOf(cur);
+  }
+  return depth;
+}
+
+}  // namespace kf::kb

@@ -1,0 +1,53 @@
+// A containment forest over values (e.g. San Francisco < California < USA).
+// Section 5.4 of the paper: hierarchical values make multiple triples of a
+// functional predicate simultaneously true, and support partial evidence
+// propagation. Used by the corpus generator (specific/general errors), the
+// error-analysis bench (Fig. 17), and the hierarchy-aware fusion extension.
+#ifndef KF_KB_VALUE_HIERARCHY_H_
+#define KF_KB_VALUE_HIERARCHY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kf::kb {
+
+class ValueHierarchy {
+ public:
+  ValueHierarchy() = default;
+  ValueHierarchy(const ValueHierarchy&) = delete;
+  ValueHierarchy& operator=(const ValueHierarchy&) = delete;
+  ValueHierarchy(ValueHierarchy&&) = default;
+  ValueHierarchy& operator=(ValueHierarchy&&) = default;
+
+  /// Declares `parent` as the direct container of `child`. A value has at
+  /// most one parent; cycles are a programmer error (checked on query in
+  /// debug builds via a depth bound).
+  void SetParent(ValueId child, ValueId parent);
+
+  /// Direct parent, or kInvalidId for roots / unknown values.
+  ValueId ParentOf(ValueId v) const;
+
+  /// All strict ancestors, nearest first.
+  std::vector<ValueId> AncestorsOf(ValueId v) const;
+
+  /// True if `ancestor` strictly contains `descendant`.
+  bool IsAncestorOf(ValueId ancestor, ValueId descendant) const;
+
+  /// True if a == b, or one contains the other. Such triple pairs are
+  /// simultaneously true for a functional predicate.
+  bool Compatible(ValueId a, ValueId b) const;
+
+  /// Number of edges from v to its root (0 for roots).
+  int Depth(ValueId v) const;
+
+  size_t num_edges() const { return parent_.size(); }
+
+ private:
+  std::unordered_map<ValueId, ValueId> parent_;
+};
+
+}  // namespace kf::kb
+
+#endif  // KF_KB_VALUE_HIERARCHY_H_

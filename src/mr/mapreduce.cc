@@ -1,0 +1,13 @@
+#include "mr/mapreduce.h"
+
+namespace kf::mr {
+
+size_t SuggestPartitions(size_t num_groups) {
+  // Aim for a few thousand groups per partition; clamp to a sane range.
+  size_t parts = num_groups / 4096;
+  if (parts < 16) return 16;
+  if (parts > 1024) return 1024;
+  return parts;
+}
+
+}  // namespace kf::mr

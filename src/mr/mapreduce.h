@@ -1,0 +1,111 @@
+// A local, multi-threaded MapReduce engine. The knowledge-fusion engine
+// (fusion/engine.h) expresses the paper's three-stage architecture (Fig. 8)
+// as three Jobs over extraction records.
+//
+// Determinism: inputs are mapped in fixed-size blocks and per-partition
+// groups accumulate values in global input order, so for a fixed input and
+// partition count the reduce order (and therefore any floating-point
+// accumulation) is identical regardless of worker count.
+#ifndef KF_MR_MAPREDUCE_H_
+#define KF_MR_MAPREDUCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+
+namespace kf::mr {
+
+struct Options {
+  /// Worker threads for both the map and reduce phases (0 = hardware).
+  size_t num_workers = 0;
+  /// Shuffle partitions. Output order depends on this, so it defaults to a
+  /// fixed constant rather than the worker count.
+  size_t num_partitions = 64;
+};
+
+/// One MapReduce job: inputs of type I are mapped to (K, V) pairs, shuffled
+/// by key hash, and each key group is reduced to zero or more outputs O.
+template <typename I, typename K, typename V, typename O,
+          typename KeyHash = std::hash<K>>
+class Job {
+ public:
+  using Emit = std::function<void(const K&, V)>;
+  using MapFn = std::function<void(const I&, const Emit&)>;
+  using EmitOut = std::function<void(O)>;
+  /// Values arrive in global input order and may be mutated by the reducer.
+  using ReduceFn = std::function<void(const K&, std::vector<V>&,
+                                      const EmitOut&)>;
+
+  static std::vector<O> Run(const std::vector<I>& inputs, const MapFn& map,
+                            const ReduceFn& reduce,
+                            const Options& options = Options()) {
+    KF_CHECK(options.num_partitions > 0);
+    const size_t n = inputs.size();
+    const size_t num_parts = options.num_partitions;
+    // Fixed block decomposition: block count is independent of the worker
+    // count so the shuffle sees pairs in a reproducible order.
+    const size_t block_size = 8192;
+    const size_t num_blocks = n == 0 ? 0 : (n + block_size - 1) / block_size;
+
+    // Map phase: each block fills its own per-partition buckets.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> block_buckets(
+        num_blocks);
+    ParallelFor(num_blocks, options.num_workers, [&](size_t b) {
+      auto& buckets = block_buckets[b];
+      buckets.resize(num_parts);
+      KeyHash hasher;
+      Emit emit = [&](const K& key, V value) {
+        size_t p = hasher(key) % num_parts;
+        buckets[p].emplace_back(key, std::move(value));
+      };
+      const size_t begin = b * block_size;
+      const size_t end = begin + block_size < n ? begin + block_size : n;
+      for (size_t i = begin; i < end; ++i) map(inputs[i], emit);
+    });
+
+    // Shuffle + reduce phase: per partition, group values by key preserving
+    // first-seen key order, then reduce groups in that order.
+    std::vector<std::vector<O>> part_outputs(num_parts);
+    ParallelFor(num_parts, options.num_workers, [&](size_t p) {
+      std::unordered_map<K, size_t, KeyHash> key_index;
+      std::vector<K> keys;
+      std::vector<std::vector<V>> groups;
+      for (size_t b = 0; b < num_blocks; ++b) {
+        for (auto& [key, value] : block_buckets[b][p]) {
+          auto [it, inserted] = key_index.emplace(key, keys.size());
+          if (inserted) {
+            keys.push_back(key);
+            groups.emplace_back();
+          }
+          groups[it->second].push_back(std::move(value));
+        }
+      }
+      auto& out = part_outputs[p];
+      EmitOut emit_out = [&](O o) { out.push_back(std::move(o)); };
+      for (size_t g = 0; g < keys.size(); ++g) {
+        reduce(keys[g], groups[g], emit_out);
+      }
+    });
+
+    std::vector<O> outputs;
+    size_t total = 0;
+    for (const auto& po : part_outputs) total += po.size();
+    outputs.reserve(total);
+    for (auto& po : part_outputs) {
+      for (auto& o : po) outputs.push_back(std::move(o));
+    }
+    return outputs;
+  }
+};
+
+/// Number of shuffle partitions appropriate for `num_groups` expected keys.
+size_t SuggestPartitions(size_t num_groups);
+
+}  // namespace kf::mr
+
+#endif  // KF_MR_MAPREDUCE_H_

@@ -1,0 +1,114 @@
+// All knobs of the synthetic corpus. Defaults are tuned so the generated
+// corpus reproduces the statistical shapes of Section 3 (extractor accuracy
+// spread ~0.09-0.78, overall extracted accuracy ~30%, heavy-tailed support
+// distributions, correlated extractors, mis-calibrated confidences).
+#ifndef KF_SYNTH_CONFIG_H_
+#define KF_SYNTH_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kf::synth {
+
+struct SynthConfig {
+  uint64_t seed = 42;
+
+  // ---- world ----
+  size_t num_domains = 8;
+  size_t num_types = 24;
+  size_t num_entities = 10000;
+  size_t num_predicates = 64;
+  /// Fraction of predicates with a single true value (Table 3: 28%).
+  double frac_functional = 0.28;
+  /// Mean number of true values for non-functional data items.
+  double mean_truths_nonfunctional = 2.1;
+  /// Fraction of entity-valued predicates whose objects live in the
+  /// location-style containment hierarchy.
+  double frac_hierarchical_preds = 0.18;
+  size_t hierarchy_countries = 24;
+  size_t states_per_country = 5;
+  size_t cities_per_state = 6;
+  size_t num_string_values = 6000;
+  size_t num_number_values = 1500;
+  /// Fraction of an entity's applicable predicates that actually have
+  /// truths in the world.
+  double item_density = 0.45;
+  /// Zipf exponent skewing which types entities belong to.
+  double type_zipf = 0.85;
+
+  // ---- Freebase-like snapshot (the gold-standard substrate) ----
+  /// Fraction of world data items present in the snapshot (LCWA abstains on
+  /// the rest).
+  double fb_item_coverage = 0.42;
+  /// For covered multi-truth items, fraction of the remaining true values
+  /// kept (the first is always kept), creating LCWA false positives.
+  double fb_value_coverage = 0.85;
+  /// Probability that a covered item additionally records a wrong value
+  /// (the "Freebase has an obviously incorrect value" case of Fig. 17).
+  double fb_error_rate = 0.01;
+
+  // ---- Web sources ----
+  size_t num_sites = 160;
+  double mean_pages_per_site = 170.0;
+  size_t max_pages_per_site = 2000;
+  /// Site accuracy ~ clamp(Normal(mean, sd), lo, hi); pages jitter around
+  /// their site.
+  double site_accuracy_mean = 0.88;
+  double site_accuracy_sd = 0.12;
+  double site_accuracy_lo = 0.35;
+  double site_accuracy_hi = 0.99;
+  double page_accuracy_jitter = 0.05;
+  /// Pareto exponent for facts-per-page (alpha close to 1 => half of the
+  /// pages carry a single fact, a few carry thousands; Section 3.1.2).
+  double facts_per_page_alpha = 1.15;
+  size_t max_facts_per_page = 3000;
+  /// Zipf exponent for which data items a page talks about.
+  double item_zipf = 1.0;
+  /// Probability that a page copies (part of) an earlier page's claims.
+  double copy_prob = 0.12;
+  /// Fraction of a copied page's claims that are replicated.
+  double copy_fraction = 0.6;
+  /// Zipf exponent over the per-item false-value pool: small exponents
+  /// spread errors, large ones concentrate them on popular false values.
+  double false_value_zipf = 1.3;
+  size_t false_pool_size = 24;
+
+  // ---- extraction ----
+  /// Probability that a non-corrupted extraction of a hierarchical value
+  /// emits a more general / more specific variant instead (Section 5.4).
+  double spec_gen_rate = 0.06;
+  /// Fraction of an extractor's patterns that are systematically broken
+  /// (they map every firing to the same wrong value; Section 5.1's "common
+  /// extraction errors").
+  double broken_pattern_rate = 0.03;
+
+  /// Master scale multiplier applied to entities/sites (used by the perf
+  /// bench to sweep corpus size).
+  double scale = 1.0;
+
+  /// Returns a copy with entity/site counts scaled by `factor`.
+  SynthConfig Scaled(double factor) const {
+    SynthConfig c = *this;
+    c.scale = factor;
+    c.num_entities = static_cast<size_t>(num_entities * factor) + 1;
+    c.num_sites = static_cast<size_t>(num_sites * factor) + 1;
+    c.num_string_values = static_cast<size_t>(num_string_values * factor) + 1;
+    return c;
+  }
+
+  /// A small corpus for unit tests (fast but still exercises every code
+  /// path).
+  static SynthConfig Small() {
+    SynthConfig c;
+    c.num_entities = 600;
+    c.num_sites = 60;
+    c.mean_pages_per_site = 12.0;
+    c.num_string_values = 800;
+    c.num_number_values = 200;
+    return c;
+  }
+};
+
+}  // namespace kf::synth
+
+#endif  // KF_SYNTH_CONFIG_H_

@@ -1,0 +1,20 @@
+#include "synth/corpus.h"
+
+namespace kf::synth {
+
+SynthCorpus GenerateCorpus(const SynthConfig& config) {
+  return GenerateCorpus(config, Default12Extractors());
+}
+
+SynthCorpus GenerateCorpus(const SynthConfig& config,
+                           const std::vector<ExtractorSpec>& extractors) {
+  SynthCorpus corpus;
+  corpus.world = BuildWorld(config);
+  corpus.freebase = BuildFreebaseSnapshot(corpus.world, config);
+  SourceCorpus sources = BuildSourceCorpus(corpus.world, config);
+  corpus.dataset =
+      RunExtractors(&corpus.world, sources, extractors, config);
+  return corpus;
+}
+
+}  // namespace kf::synth

@@ -1,0 +1,35 @@
+// One-call corpus generation: world -> Freebase snapshot -> Web sources ->
+// extraction dataset. This is the entry point examples, tests, and benches
+// use to obtain a knowledge-fusion workload.
+#ifndef KF_SYNTH_CORPUS_H_
+#define KF_SYNTH_CORPUS_H_
+
+#include "extract/dataset.h"
+#include "kb/knowledge_base.h"
+#include "synth/config.h"
+#include "synth/extractor_model.h"
+#include "synth/source_model.h"
+#include "synth/world.h"
+
+namespace kf::synth {
+
+struct SynthCorpus {
+  World world;
+  /// Partial, slightly dirty reference KB (gold standard under LCWA).
+  kb::KnowledgeBase freebase;
+  /// The fusion input: 6 extraction records dimensions collapsed into
+  /// interned triples + provenances.
+  extract::ExtractionDataset dataset;
+};
+
+/// Generates everything deterministically from config.seed, using the
+/// default 12 extractors of Table 2.
+SynthCorpus GenerateCorpus(const SynthConfig& config);
+
+/// Same, with caller-provided extractor specs.
+SynthCorpus GenerateCorpus(const SynthConfig& config,
+                           const std::vector<ExtractorSpec>& extractors);
+
+}  // namespace kf::synth
+
+#endif  // KF_SYNTH_CORPUS_H_

@@ -1,0 +1,313 @@
+#include "synth/extractor_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace kf::synth {
+namespace {
+
+double Clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+// Deterministic hash -> [0,1).
+double Hash01(uint64_t h) {
+  return static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
+}
+
+// Garbage string values produced by triple-identification errors live in a
+// reserved string-id space so they never collide with world strings.
+constexpr uint32_t kGarbageStringBase = 0x40000000u;
+
+struct ExtractorState {
+  ExtractorSpec spec;
+  uint32_t pattern_base = 0;   // global id of this extractor's pattern 0
+  uint32_t pattern_count = 1;  // realized pattern-id space
+};
+
+// Confidence draw; `quality` is 1 for a faithful extraction of a true
+// claim, ~0.45 for a faithful extraction of a false source claim, 0 for a
+// corrupted extraction.
+float SampleConfidence(ConfidenceModel model, double quality, Rng* rng) {
+  double c = 0.5;
+  switch (model) {
+    case ConfidenceModel::kNone:
+      return 0.0f;
+    case ConfidenceModel::kCalibrated:
+      c = rng->Normal(0.18 + 0.68 * quality, 0.16);
+      break;
+    case ConfidenceModel::kCentered:
+      c = rng->Normal(0.40 + 0.14 * quality, 0.15);
+      break;
+    case ConfidenceModel::kBimodalInformative:
+      if (rng->Bernoulli(0.82)) {
+        c = quality > 0.5 ? rng->Uniform(0.8, 1.0) : rng->Uniform(0.0, 0.2);
+      } else {
+        c = rng->NextDouble();
+      }
+      break;
+    case ConfidenceModel::kBimodalUninformative:
+      c = rng->Bernoulli(0.5) ? rng->Uniform(0.8, 1.0)
+                              : rng->Uniform(0.0, 0.2);
+      break;
+    case ConfidenceModel::kMidPeak:
+      if (quality > 0.5) {
+        c = rng->Normal(0.55, 0.15);
+      } else {
+        c = rng->Bernoulli(0.5) ? rng->Uniform(0.0, 0.35)
+                                : rng->Uniform(0.35, 1.0);
+      }
+      break;
+    case ConfidenceModel::kUninformative:
+      c = rng->NextDouble();
+      break;
+  }
+  return static_cast<float>(Clamp01(c));
+}
+
+}  // namespace
+
+std::vector<ExtractorSpec> Default12Extractors() {
+  std::vector<ExtractorSpec> specs;
+  auto add = [&](const char* name, extract::ContentType content,
+                 double subset, double coverage, double recall, double err,
+                 size_t patterns, ConfidenceModel conf, int framework,
+                 int linkage) {
+    ExtractorSpec s;
+    s.name = name;
+    s.content = content;
+    s.site_subset = subset;
+    s.page_coverage = coverage;
+    s.fact_recall = recall;
+    s.error_rate = err;
+    s.num_patterns = patterns;
+    s.conf = conf;
+    s.framework_group = framework;
+    s.linkage_group = linkage;
+    specs.push_back(s);
+  };
+  using CT = extract::ContentType;
+  using CM = ConfidenceModel;
+  // name        content  subset cover recall err   pats  conf          fw li
+  add("TXT1", CT::kTxt, 1.00, 0.90, 0.50, 0.52, 2400, CM::kCentered, 0, 0);
+  add("TXT2", CT::kTxt, 0.50, 0.60, 0.35, 0.85, 1800, CM::kCalibrated, 1, 0);
+  add("TXT3", CT::kTxt, 0.20, 0.70, 0.40, 0.78, 800, CM::kCalibrated, 1, 0);
+  add("TXT4", CT::kTxt, 0.08, 0.80, 0.50, 0.08, 120, CM::kCalibrated, 1, 0);
+  add("DOM1", CT::kDom, 1.00, 0.85, 0.50, 0.42, 3000, CM::kCalibrated, 2, 0);
+  add("DOM2", CT::kDom, 1.00, 0.95, 0.45, 0.94, 0, CM::kBimodalInformative,
+      3, 1);
+  add("DOM3", CT::kDom, 0.30, 0.60, 0.40, 0.26, 0, CM::kCalibrated, 2, 1);
+  add("DOM4", CT::kDom, 0.40, 0.60, 0.45, 0.70, 0, CM::kUninformative, 3, 1);
+  add("DOM5", CT::kDom, 0.08, 0.70, 0.30, 0.90, 0, CM::kNone, 2, 0);
+  add("TBL1", CT::kTbl, 1.00, 0.90, 0.60, 0.80, 0, CM::kMidPeak, 4, 1);
+  add("TBL2", CT::kTbl, 0.30, 0.90, 0.50, 0.16, 0, CM::kNone, 4, 0);
+  add("ANO", CT::kAno, 1.00, 0.90, 0.70, 0.72, 0, CM::kBimodalUninformative,
+      5, 1);
+  return specs;
+}
+
+extract::ExtractionDataset RunExtractors(
+    World* world_ptr, const SourceCorpus& sources,
+    const std::vector<ExtractorSpec>& specs, const SynthConfig& config) {
+  World& world = *world_ptr;
+  extract::ExtractionDataset dataset;
+
+  // Assign global pattern-id ranges.
+  std::vector<ExtractorState> states;
+  uint32_t next_pattern = 0;
+  for (const auto& spec : specs) {
+    ExtractorState st;
+    st.spec = spec;
+    st.pattern_base = next_pattern;
+    st.pattern_count =
+        spec.num_patterns == 0 ? 1 : static_cast<uint32_t>(spec.num_patterns);
+    next_pattern += st.pattern_count;
+    states.push_back(st);
+  }
+
+  {
+    std::vector<extract::ExtractorMeta> metas;
+    for (const auto& spec : specs) {
+      extract::ExtractorMeta m;
+      m.name = spec.name;
+      m.content = spec.content;
+      m.has_confidence = spec.conf != ConfidenceModel::kNone;
+      m.framework_group = spec.framework_group;
+      m.linkage_group = spec.linkage_group;
+      metas.push_back(m);
+    }
+    dataset.SetExtractors(std::move(metas));
+  }
+  dataset.SetUrlSites(sources.url_site);
+  dataset.SetCounts(sources.num_sites, next_pattern,
+                    world.ontology.num_predicates());
+
+  // Predicates grouped by subject type, for predicate-linkage errors.
+  std::vector<std::vector<kb::PredicateId>> preds_of_type(
+      world.ontology.num_types());
+  for (kb::PredicateId p = 0; p < world.ontology.num_predicates(); ++p) {
+    preds_of_type[world.ontology.predicate(p).subject_type].push_back(p);
+  }
+
+  const uint64_t salt = HashCombine(config.seed, 0xe57);
+  Rng base_rng(salt);
+
+  auto intern = [&](const kb::DataItem& item, kb::ValueId value) {
+    bool exact = world.truth.Contains(item, value);
+    bool hier = exact || world.HierarchyTrue(item, value);
+    return dataset.InternTriple(item, value, exact, hier);
+  };
+
+  for (const auto& page : sources.pages) {
+    for (size_t e = 0; e < states.size(); ++e) {
+      const ExtractorState& st = states[e];
+      const ExtractorSpec& spec = st.spec;
+      // Deterministic site targeting: each extractor runs on a fixed slice
+      // of sites (e.g. TXT4/DOM5 on the "Wikipedia" slice).
+      if (Hash01(HashCombine(HashCombine(salt, 0xa11), page.site) ^
+                 (e * 0x9e37ULL)) >= spec.site_subset) {
+        continue;
+      }
+      Rng rng = base_rng.Fork(HashCombine(HashCombine(0xec0, e), page.url));
+      if (!rng.Bernoulli(spec.page_coverage)) continue;
+
+      for (size_t fi = 0; fi < page.facts.size(); ++fi) {
+        const PageFact& fact = page.facts[fi];
+        if (fact.content != spec.content) continue;
+        if (!rng.Bernoulli(spec.fact_recall)) continue;
+
+        // Pattern that fires: a deterministic function of the predicate
+        // (and a small per-subject variation when the extractor has many
+        // patterns).
+        uint32_t local_pattern = 0;
+        if (st.pattern_count > 1) {
+          uint64_t ph = HashCombine(HashCombine(0x9a7, e),
+                                    fact.item.predicate);
+          ph = HashCombine(ph, fact.item.subject % 3);
+          local_pattern = static_cast<uint32_t>(ph % st.pattern_count);
+        }
+        uint32_t pattern = st.pattern_base + local_pattern;
+        // Quality varies per pattern; extractors without patterns still
+        // vary per predicate (their per-page behaviour differs by relation
+        // even though Table 2 reports "No pat.").
+        uint64_t quality_key =
+            st.pattern_count > 1
+                ? pattern
+                : HashCombine(HashCombine(0x9b1, e), fact.item.predicate);
+
+        // Per-pattern quality multiplier in [0.25, 2): within one
+        // extractor, accuracy ranges from near 0 to near 1 (Section 3.1.3).
+        double pattern_mult =
+            0.25 + 1.75 * Hash01(HashCombine(0xbad, quality_key));
+        double corrupt_prob =
+            std::min(0.97, std::max(0.01, spec.error_rate * pattern_mult));
+        bool broken_pattern = Hash01(HashCombine(0xb0ce, quality_key)) <
+                              config.broken_pattern_rate;
+
+        // Correlated corruption: extractors in the same framework group
+        // draw the same corruption coin and outcome for the same fact.
+        uint64_t framework_key =
+            spec.framework_group >= 0
+                ? 0xf0000ULL + static_cast<uint64_t>(spec.framework_group)
+                : 0xe0000ULL + e;
+        uint64_t fact_key = HashCombine(HashCombine(framework_key, page.url),
+                                        fi);
+        bool corrupted = broken_pattern || Hash01(fact_key) < corrupt_prob;
+
+        kb::DataItem item = fact.item;
+        kb::ValueId value = fact.value;
+        extract::ErrorClass error = fact.source_false
+                                        ? extract::ErrorClass::kSourceError
+                                        : extract::ErrorClass::kNone;
+
+        if (corrupted) {
+          // Error class chosen from the shared fact key so correlated
+          // extractors agree.
+          double class_draw = Hash01(HashCombine(fact_key, 0xc1a));
+          if (broken_pattern) {
+            // A systematically broken pattern garbles the object the same
+            // way on every page: a popular false triple from one extractor.
+            item = fact.item;
+            uint64_t g = HashCombine(HashCombine(0x6a2ba6e, pattern),
+                                     kb::DataItemHash()(item));
+            value = world.values.Intern(
+                kb::Value::OfString(kGarbageStringBase +
+                                    static_cast<uint32_t>(g % 0x0fffffff)));
+            error = extract::ErrorClass::kTripleIdentification;
+          } else if (class_draw < spec.err_triple_id) {
+            // Triple identification: wrong words taken as the object. The
+            // mistake is a property of how the extractor reads this kind
+            // of statement, so it repeats across pages: key the garbage by
+            // (framework, item) plus a small per-page variant.
+            uint64_t g = HashCombine(
+                HashCombine(HashCombine(0x9a41, framework_key),
+                            kb::DataItemHash()(item)),
+                Mix64(fact_key) % 3);
+            value = world.values.Intern(
+                kb::Value::OfString(kGarbageStringBase +
+                                    static_cast<uint32_t>(g % 0x0fffffff)));
+            error = extract::ErrorClass::kTripleIdentification;
+          } else if (class_draw < spec.err_triple_id + spec.err_entity) {
+            // Entity linkage: the subject resolves to a confusable entity.
+            // The mapping is a function of the linkage component, so
+            // extractors sharing it repeat the mistake.
+            uint64_t lk =
+                spec.linkage_group >= 0
+                    ? 0x11000ULL + static_cast<uint64_t>(spec.linkage_group)
+                    : 0x12000ULL + e;
+            uint64_t m = HashCombine(HashCombine(lk, item.subject), 0x7);
+            item.subject = static_cast<kb::EntityId>(
+                m % config.num_entities);
+            error = extract::ErrorClass::kEntityLinkage;
+          } else {
+            // Predicate linkage: relation mapped to a sibling predicate of
+            // the same type.
+            const auto& sibs =
+                preds_of_type[world.ontology.predicate(item.predicate)
+                                  .subject_type];
+            if (sibs.size() > 1) {
+              uint64_t m = HashCombine(HashCombine(framework_key, 0x13),
+                                       item.predicate);
+              kb::PredicateId np = sibs[m % sibs.size()];
+              if (np == item.predicate) {
+                np = sibs[(m + 1) % sibs.size()];
+              }
+              item.predicate = np;
+            }
+            error = extract::ErrorClass::kPredicateLinkage;
+          }
+        } else if (!fact.source_false &&
+                   world.ontology.predicate(item.predicate)
+                       .hierarchical_values &&
+                   rng.Bernoulli(config.spec_gen_rate)) {
+          // Faithful but at a different hierarchy level: emit the parent
+          // (more general) — or, from a general truth, a random child
+          // (more specific). Both are correct in reality; LCWA may
+          // disagree (Fig. 17).
+          kb::ValueId parent = world.hierarchy.ParentOf(value);
+          if (parent != kb::kInvalidId && rng.Bernoulli(0.7)) {
+            value = parent;
+            error = extract::ErrorClass::kMoreGeneralValue;
+          }
+        }
+
+        double quality = corrupted ? 0.0 : (fact.source_false ? 0.45 : 1.0);
+        extract::ExtractionRecord rec;
+        rec.triple = intern(item, value);
+        rec.prov.extractor = static_cast<extract::ExtractorId>(e);
+        rec.prov.url = page.url;
+        rec.prov.site = page.site;
+        rec.prov.pattern = pattern;
+        rec.prov.predicate = item.predicate;
+        rec.has_confidence = spec.conf != ConfidenceModel::kNone;
+        rec.confidence = SampleConfidence(spec.conf, quality, &rng);
+        rec.error = error;
+        dataset.AddRecord(rec);
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace kf::synth

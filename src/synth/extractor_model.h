@@ -1,0 +1,76 @@
+// Simulators for the paper's 12 knowledge extractors (Table 2). Each
+// extractor sees the facts embedded in its content type on the pages it
+// covers, and corrupts a share of them with the three error classes of
+// Section 3.1.3 (triple identification, entity linkage, predicate linkage).
+// Extractors sharing a framework or an entity-linkage component make
+// correlated mistakes (Section 5.2); some patterns are systematically
+// broken, producing the "common extraction error on many pages" phenomenon
+// of Section 5.1.
+#ifndef KF_SYNTH_EXTRACTOR_MODEL_H_
+#define KF_SYNTH_EXTRACTOR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/dataset.h"
+#include "synth/config.h"
+#include "synth/source_model.h"
+#include "synth/world.h"
+
+namespace kf::synth {
+
+/// How an extractor assigns confidence scores (Section 5.5 / Fig. 21: some
+/// are informative, some bimodal, some useless, some peak at mid range).
+enum class ConfidenceModel : uint8_t {
+  kNone = 0,                 // extractor provides no confidence
+  kCalibrated = 1,           // higher confidence => higher accuracy
+  kCentered = 2,             // confidences hug 0.5, weakly informative
+  kBimodalInformative = 3,   // mostly 0/1, usually on the right side
+  kBimodalUninformative = 4, // mostly 0/1, independent of correctness
+  kMidPeak = 5,              // accuracy peaks at medium confidence (TBL)
+  kUninformative = 6,        // uniform noise
+};
+
+struct ExtractorSpec {
+  std::string name;
+  extract::ContentType content = extract::ContentType::kTxt;
+  /// Fraction of sites the extractor is designed to operate on (TXT4 and
+  /// DOM5 run only on the "Wikipedia" slice of sites, etc.).
+  double site_subset = 1.0;
+  /// Probability of processing an applicable page at all.
+  double page_coverage = 0.9;
+  /// Probability of emitting a triple for a fact it can see.
+  double fact_recall = 0.5;
+  /// Base probability that an emitted triple is corrupted by an extraction
+  /// error (modulated per pattern).
+  double error_rate = 0.5;
+  /// Split of extraction errors among the three classes (sums to 1).
+  double err_triple_id = 0.34;
+  double err_entity = 0.48;
+  double err_predicate = 0.18;
+  /// Number of learned patterns; 0 means the extractor has no patterns
+  /// (Table 2 "No pat.") and uses one implicit pattern.
+  size_t num_patterns = 0;
+  ConfidenceModel conf = ConfidenceModel::kCalibrated;
+  /// Extractors with the same framework group corrupt the same facts in
+  /// the same way (positive correlation).
+  int framework_group = -1;
+  /// Extractors with the same linkage group share the entity-linkage
+  /// component and thus its mistakes.
+  int linkage_group = -1;
+};
+
+/// The 12 extractors of Table 2, with parameters tuned to reproduce the
+/// reported accuracy spread (0.09 - 0.78) and confidence behaviours.
+std::vector<ExtractorSpec> Default12Extractors();
+
+/// Runs every extractor over the Web corpus and assembles the fusion input.
+/// `world` is mutable because triple-identification errors intern new
+/// garbage values into its value table.
+extract::ExtractionDataset RunExtractors(
+    World* world, const SourceCorpus& sources,
+    const std::vector<ExtractorSpec>& specs, const SynthConfig& config);
+
+}  // namespace kf::synth
+
+#endif  // KF_SYNTH_EXTRACTOR_MODEL_H_

@@ -1,0 +1,118 @@
+#include "synth/source_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace kf::synth {
+namespace {
+
+double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+// Pareto-ish heavy tail: floor(1/u^(1/alpha)). With alpha near 1, about
+// half of the pages carry a single fact while a few carry thousands,
+// matching the contribution skew of Section 3.1.2.
+size_t SampleFactsPerPage(double alpha, size_t cap, Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  double x = std::pow(1.0 / u, 1.0 / alpha);
+  size_t n = static_cast<size_t>(x);
+  if (n < 1) n = 1;
+  return std::min(n, cap);
+}
+
+extract::ContentType SampleContentType(Rng* rng) {
+  // DOM dominates (~80% of extracted triples in Fig. 3), TXT next; overlap
+  // between content types stays small because each fact is embedded in one.
+  double u = rng->NextDouble();
+  if (u < 0.62) return extract::ContentType::kDom;
+  if (u < 0.90) return extract::ContentType::kTxt;
+  if (u < 0.95) return extract::ContentType::kTbl;
+  return extract::ContentType::kAno;
+}
+
+}  // namespace
+
+SourceCorpus BuildSourceCorpus(const World& world, const SynthConfig& config) {
+  SourceCorpus corpus;
+  Rng rng(HashCombine(config.seed, 0x50c));
+
+  // Per-site accuracy and page counts.
+  std::vector<double> site_accuracy(config.num_sites);
+  std::vector<size_t> site_pages(config.num_sites);
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    site_accuracy[s] =
+        Clamp(rng.Normal(config.site_accuracy_mean, config.site_accuracy_sd),
+              config.site_accuracy_lo, config.site_accuracy_hi);
+    // Exponential page count with the configured mean.
+    double u = rng.NextDouble();
+    if (u < 1e-12) u = 1e-12;
+    size_t pages = static_cast<size_t>(-config.mean_pages_per_site *
+                                       std::log(u)) + 1;
+    site_pages[s] = std::min(pages, config.max_pages_per_site);
+  }
+
+  ZipfDistribution item_dist(world.items.size(), config.item_zipf);
+
+  corpus.num_sites = config.num_sites;
+  extract::UrlId next_url = 0;
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    for (size_t p = 0; p < site_pages[s]; ++p) {
+      WebPage page;
+      page.url = next_url++;
+      page.site = static_cast<extract::SiteId>(s);
+      corpus.url_site.push_back(page.site);
+
+      double accuracy = Clamp(
+          site_accuracy[s] + rng.Normal(0.0, config.page_accuracy_jitter),
+          0.05, 0.995);
+
+      // Copying: replicate a chunk of an earlier page (same false claims
+      // included), creating copied popular false values.
+      if (!corpus.pages.empty() && rng.Bernoulli(config.copy_prob)) {
+        const WebPage& origin =
+            corpus.pages[rng.NextBelow(corpus.pages.size())];
+        for (const PageFact& f : origin.facts) {
+          if (rng.Bernoulli(config.copy_fraction)) {
+            PageFact copy = f;
+            // The copier may re-render into a different content section.
+            copy.content = SampleContentType(&rng);
+            page.facts.push_back(copy);
+          }
+        }
+      }
+
+      size_t n_facts = SampleFactsPerPage(config.facts_per_page_alpha,
+                                          config.max_facts_per_page, &rng);
+      for (size_t f = 0; f < n_facts; ++f) {
+        PageFact fact;
+        fact.item = world.items[item_dist.Sample(&rng)];
+        fact.content = SampleContentType(&rng);
+        const auto& truths = world.truth.Values(fact.item);
+        KF_DCHECK(!truths.empty());
+        if (rng.Bernoulli(accuracy)) {
+          fact.value = truths[rng.NextBelow(truths.size())];
+          fact.source_false = false;
+        } else {
+          fact.value = world.SampleFalseValue(
+              fact.item, config.false_value_zipf, config.false_pool_size,
+              &rng);
+          // The sampled "false" value can coincide with a truth for
+          // multi-truth items; record the actual status.
+          fact.source_false =
+              std::find(truths.begin(), truths.end(), fact.value) ==
+              truths.end();
+        }
+        page.facts.push_back(fact);
+      }
+      corpus.pages.push_back(std::move(page));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace kf::synth

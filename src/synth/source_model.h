@@ -1,0 +1,45 @@
+// The Web layer: sites containing pages; pages claim facts about data items
+// with site-dependent accuracy; pages sometimes copy earlier pages
+// (Section 5.2), propagating both true and false claims.
+#ifndef KF_SYNTH_SOURCE_MODEL_H_
+#define KF_SYNTH_SOURCE_MODEL_H_
+
+#include <vector>
+
+#include "extract/provenance.h"
+#include "kb/ids.h"
+#include "synth/config.h"
+#include "synth/world.h"
+
+namespace kf::synth {
+
+/// One claim a page makes. `content` is the kind of Web content the fact is
+/// embedded in on that page, which determines which extractors can see it.
+struct PageFact {
+  kb::DataItem item;
+  kb::ValueId value = kb::kInvalidId;
+  extract::ContentType content = extract::ContentType::kDom;
+  /// True when `value` is not a truth of `item` (the source itself is
+  /// wrong, as opposed to a later extraction error).
+  bool source_false = false;
+};
+
+struct WebPage {
+  extract::UrlId url = 0;
+  extract::SiteId site = 0;
+  std::vector<PageFact> facts;
+};
+
+struct SourceCorpus {
+  std::vector<WebPage> pages;
+  /// url -> site.
+  std::vector<extract::SiteId> url_site;
+  size_t num_sites = 0;
+};
+
+/// Generates the Web corpus deterministically from config.seed.
+SourceCorpus BuildSourceCorpus(const World& world, const SynthConfig& config);
+
+}  // namespace kf::synth
+
+#endif  // KF_SYNTH_SOURCE_MODEL_H_

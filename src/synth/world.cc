@@ -1,0 +1,252 @@
+#include "synth/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace kf::synth {
+namespace {
+
+// Poisson-like draw for the number of extra truths of a non-functional
+// item: 1 + Geometric with the requested mean, capped.
+size_t SampleTruthCount(double mean_truths, Rng* rng) {
+  size_t k = 1;
+  double extra = mean_truths - 1.0;
+  if (extra <= 0.0) return k;
+  double p_continue = extra / (1.0 + extra);  // geometric with mean `extra`
+  while (k < 6 && rng->Bernoulli(p_continue)) ++k;
+  return k;
+}
+
+}  // namespace
+
+bool World::HierarchyTrue(const kb::DataItem& item, kb::ValueId value) const {
+  for (kb::ValueId t : truth.Values(item)) {
+    if (hierarchy.Compatible(t, value)) return true;
+  }
+  return false;
+}
+
+kb::ValueId World::SampleFalseValue(const kb::DataItem& item, double zipf,
+                                    size_t pool_size, Rng* rng) const {
+  const kb::PredicateInfo& pred = ontology.predicate(item.predicate);
+  // The pool is a deterministic function of the item, so the same false
+  // values recur across pages/sources ("popular false values", needed for
+  // POPACCU's premise).
+  uint64_t pool_seed =
+      HashCombine(HashCombine(0xfa15e, item.subject), item.predicate);
+  // Zipf rank within the pool.
+  ZipfDistribution dist(pool_size, zipf);
+  size_t rank = dist.Sample(rng);
+  uint64_t h = HashCombine(pool_seed, rank);
+
+  auto pick = [&](const std::vector<kb::ValueId>& pool) -> kb::ValueId {
+    KF_CHECK(!pool.empty());
+    return pool[h % pool.size()];
+  };
+
+  kb::ValueId candidate;
+  if (pred.hierarchical_values) {
+    // Wrong location: usually another leaf, sometimes a mid-level value.
+    candidate = (h % 5 == 0) ? pick(hier_mids) : pick(hier_leaves);
+  } else {
+    switch (pred.object_kind) {
+      case kb::ValueKind::kEntity:
+        candidate = pick(entity_value_pool);
+        break;
+      case kb::ValueKind::kString:
+        candidate = pick(string_value_pool);
+        break;
+      case kb::ValueKind::kNumber:
+        candidate = pick(number_value_pool);
+        break;
+      default:
+        candidate = pick(string_value_pool);
+        break;
+    }
+  }
+  return candidate;
+}
+
+World BuildWorld(const SynthConfig& config) {
+  World w;
+  Rng rng(config.seed);
+
+  // ---- ontology ----
+  for (size_t d = 0; d < config.num_domains; ++d) {
+    (void)d;  // domains exist through type names only
+  }
+  for (size_t t = 0; t < config.num_types; ++t) {
+    kb::TypeInfo info;
+    info.domain = StrFormat("domain%zu", t % config.num_domains);
+    info.name = StrFormat("type%zu", t);
+    w.ontology.AddType(info);
+  }
+  {
+    kb::TypeInfo loc;
+    loc.domain = "location";
+    loc.name = "location";
+    w.location_type = w.ontology.AddType(loc);
+  }
+
+  // ---- location hierarchy (countries > states > cities) ----
+  Rng hier_rng = rng.Fork(1);
+  (void)hier_rng;
+  kb::EntityId next_entity = static_cast<kb::EntityId>(config.num_entities);
+  auto add_location = [&]() {
+    kb::EntityId e = next_entity++;
+    w.entity_type.resize(next_entity, w.location_type);
+    return w.values.Intern(kb::Value::OfEntity(e));
+  };
+  for (size_t c = 0; c < config.hierarchy_countries; ++c) {
+    kb::ValueId country = add_location();
+    w.hier_roots.push_back(country);
+    for (size_t s = 0; s < config.states_per_country; ++s) {
+      kb::ValueId state = add_location();
+      w.hier_mids.push_back(state);
+      w.hierarchy.SetParent(state, country);
+      for (size_t city = 0; city < config.cities_per_state; ++city) {
+        kb::ValueId leaf = add_location();
+        w.hier_leaves.push_back(leaf);
+        w.hierarchy.SetParent(leaf, state);
+      }
+    }
+  }
+
+  // ---- entities ----
+  // entity_type for ordinary entities [0, num_entities); locations were
+  // appended above starting at num_entities, so fill the prefix now.
+  {
+    ZipfDistribution type_dist(config.num_types, config.type_zipf);
+    Rng ent_rng = rng.Fork(2);
+    for (size_t e = 0; e < config.num_entities; ++e) {
+      w.entity_type[e] = static_cast<kb::TypeId>(type_dist.Sample(&ent_rng));
+    }
+  }
+
+  // ---- value pools ----
+  {
+    Rng pool_rng = rng.Fork(3);
+    // Entity values: a subset of ordinary entities serve as common objects.
+    size_t n_entity_values =
+        std::max<size_t>(64, config.num_entities / 4);
+    for (size_t i = 0; i < n_entity_values; ++i) {
+      kb::EntityId e = static_cast<kb::EntityId>(
+          pool_rng.NextBelow(config.num_entities));
+      w.entity_value_pool.push_back(w.values.Intern(kb::Value::OfEntity(e)));
+    }
+    for (size_t i = 0; i < config.num_string_values; ++i) {
+      // Strings are identified by their pool index; actual characters are
+      // irrelevant to fusion.
+      w.string_value_pool.push_back(
+          w.values.Intern(kb::Value::OfString(static_cast<uint32_t>(i))));
+    }
+    for (size_t i = 0; i < config.num_number_values; ++i) {
+      double num = std::floor(pool_rng.Uniform(0, 1e6));
+      w.number_value_pool.push_back(
+          w.values.Intern(kb::Value::OfNumber(num)));
+    }
+  }
+
+  // ---- predicates ----
+  {
+    Rng pred_rng = rng.Fork(4);
+    for (size_t p = 0; p < config.num_predicates; ++p) {
+      kb::PredicateInfo info;
+      info.name = StrFormat("pred%zu", p);
+      info.subject_type = static_cast<kb::TypeId>(p % config.num_types);
+      info.functional = pred_rng.Bernoulli(config.frac_functional);
+      info.mean_truths =
+          info.functional ? 1.0 : config.mean_truths_nonfunctional;
+      double kind_draw = pred_rng.NextDouble();
+      if (kind_draw < 0.55) {
+        info.object_kind = kb::ValueKind::kEntity;
+        info.hierarchical_values =
+            pred_rng.Bernoulli(config.frac_hierarchical_preds /
+                               0.55);  // conditional on entity kind
+      } else if (kind_draw < 0.88) {
+        info.object_kind = kb::ValueKind::kString;
+      } else {
+        info.object_kind = kb::ValueKind::kNumber;
+      }
+      w.ontology.AddPredicate(info);
+    }
+  }
+
+  // ---- truths ----
+  {
+    Rng truth_rng = rng.Fork(5);
+    // Predicates grouped by subject type for the per-entity loop.
+    std::vector<std::vector<kb::PredicateId>> preds_of_type(
+        w.ontology.num_types());
+    for (kb::PredicateId p = 0; p < w.ontology.num_predicates(); ++p) {
+      preds_of_type[w.ontology.predicate(p).subject_type].push_back(p);
+    }
+    for (kb::EntityId e = 0; e < config.num_entities; ++e) {
+      for (kb::PredicateId p : preds_of_type[w.entity_type[e]]) {
+        if (!truth_rng.Bernoulli(config.item_density)) continue;
+        const kb::PredicateInfo& pred = w.ontology.predicate(p);
+        kb::DataItem item{e, p};
+        size_t k = pred.functional
+                       ? 1
+                       : SampleTruthCount(pred.mean_truths, &truth_rng);
+        for (size_t i = 0; i < k; ++i) {
+          kb::ValueId v;
+          if (pred.hierarchical_values) {
+            v = w.hier_leaves[truth_rng.NextBelow(w.hier_leaves.size())];
+          } else {
+            switch (pred.object_kind) {
+              case kb::ValueKind::kEntity:
+                v = w.entity_value_pool[truth_rng.NextBelow(
+                    w.entity_value_pool.size())];
+                break;
+              case kb::ValueKind::kString:
+                v = w.string_value_pool[truth_rng.NextBelow(
+                    w.string_value_pool.size())];
+                break;
+              case kb::ValueKind::kNumber:
+              default:
+                v = w.number_value_pool[truth_rng.NextBelow(
+                    w.number_value_pool.size())];
+                break;
+            }
+          }
+          w.truth.AddTriple(item, v);
+        }
+        w.items.push_back(item);
+      }
+    }
+  }
+  return w;
+}
+
+kb::KnowledgeBase BuildFreebaseSnapshot(const World& world,
+                                        const SynthConfig& config) {
+  kb::KnowledgeBase fb;
+  Rng rng(HashCombine(config.seed, 0xfb));
+  for (const kb::DataItem& item : world.items) {
+    if (!rng.Bernoulli(config.fb_item_coverage)) continue;
+    const auto& truths = world.truth.Values(item);
+    KF_CHECK(!truths.empty());
+    // Keep the first truth always; others with fb_value_coverage. Dropped
+    // extras become LCWA false positives when extracted correctly.
+    fb.AddTriple(item, truths[0]);
+    for (size_t i = 1; i < truths.size(); ++i) {
+      if (rng.Bernoulli(config.fb_value_coverage)) {
+        fb.AddTriple(item, truths[i]);
+      }
+    }
+    if (rng.Bernoulli(config.fb_error_rate)) {
+      // Freebase itself records a wrong value (rare).
+      kb::ValueId wrong = world.SampleFalseValue(
+          item, config.false_value_zipf, config.false_pool_size, &rng);
+      fb.AddTriple(item, wrong);
+    }
+  }
+  return fb;
+}
+
+}  // namespace kf::synth

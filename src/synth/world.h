@@ -1,0 +1,62 @@
+// The synthetic "real world": an ontology, entities, a complete set of true
+// triples, a value containment hierarchy, and a partial / slightly dirty
+// Freebase-like snapshot from which the gold standard is derived.
+#ifndef KF_SYNTH_WORLD_H_
+#define KF_SYNTH_WORLD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "kb/ids.h"
+#include "kb/knowledge_base.h"
+#include "kb/ontology.h"
+#include "kb/value.h"
+#include "kb/value_hierarchy.h"
+#include "synth/config.h"
+
+namespace kf::synth {
+
+struct World {
+  kb::Ontology ontology;
+  /// entity -> type (entities beyond num_entities are hierarchy locations).
+  std::vector<kb::TypeId> entity_type;
+  kb::ValueTable values;
+  kb::ValueHierarchy hierarchy;
+  /// Complete ground truth: every true triple of the world.
+  kb::KnowledgeBase truth;
+  /// Every data item that has at least one truth, in generation order.
+  std::vector<kb::DataItem> items;
+  /// Entity values of hierarchy leaves (cities), mid level (states), roots
+  /// (countries); used for hierarchical truths and value corruption.
+  std::vector<kb::ValueId> hier_leaves;
+  std::vector<kb::ValueId> hier_mids;
+  std::vector<kb::ValueId> hier_roots;
+  /// Pools of interned non-hierarchy values by kind.
+  std::vector<kb::ValueId> entity_value_pool;
+  std::vector<kb::ValueId> string_value_pool;
+  std::vector<kb::ValueId> number_value_pool;
+  /// The type used for hierarchy locations.
+  kb::TypeId location_type = kb::kInvalidId;
+
+  /// True iff `value` equals or is hierarchy-compatible with some truth of
+  /// `item` (Section 5.4's "both can be true").
+  bool HierarchyTrue(const kb::DataItem& item, kb::ValueId value) const;
+
+  /// Samples a plausible-but-false value for `item` from a per-item pool
+  /// with Zipf popularity, so the same false values recur across sources.
+  kb::ValueId SampleFalseValue(const kb::DataItem& item, double zipf,
+                               size_t pool_size, Rng* rng) const;
+};
+
+/// Generates the world deterministically from config.seed.
+World BuildWorld(const SynthConfig& config);
+
+/// Samples the Freebase-like snapshot: covers a fraction of the items, may
+/// drop extra truths of multi-truth items, and rarely records a wrong value.
+kb::KnowledgeBase BuildFreebaseSnapshot(const World& world,
+                                        const SynthConfig& config);
+
+}  // namespace kf::synth
+
+#endif  // KF_SYNTH_WORLD_H_

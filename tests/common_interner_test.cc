@@ -1,0 +1,53 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace kf {
+namespace {
+
+TEST(InternerTest, AssignsDenseIds) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Find("missing"), StringInterner::kInvalidId);
+  interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), 0u);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, GetRoundTrips) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("hello world");
+  EXPECT_EQ(interner.Get(id), "hello world");
+}
+
+TEST(InternerTest, StableUnderGrowth) {
+  // The deque-backed pool must keep string_view keys valid as it grows.
+  StringInterner interner;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(interner.Intern(StrFormat("key-%d", i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(interner.Find(StrFormat("key-%d", i)), ids[i]);
+    EXPECT_EQ(interner.Get(ids[i]), StrFormat("key-%d", i));
+  }
+}
+
+TEST(InternerTest, EmptyStringIsValid) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("");
+  EXPECT_EQ(interner.Get(id), "");
+  EXPECT_EQ(interner.Find(""), id);
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,36 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace kf {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"a", "long_header"});
+  table.AddRow({"xxxxx", "1"});
+  table.AddRow({"y", "22"});
+  std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Each line has the same width up to trailing content.
+  auto first_line_end = out.find('\n');
+  std::string header = out.substr(0, first_line_end);
+  EXPECT_NE(header.find("long_header"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableHasHeaderOnly) {
+  TextTable table({"col"});
+  std::string out = table.ToString();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + rule
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TextTableTest, RowCountTracked) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,76 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace kf {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 8, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(10, 1, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // sequential when num_threads == 1
+}
+
+class ParallelForSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelForSweep, SumMatchesAnyThreadCount) {
+  const size_t threads = GetParam();
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(5000, threads, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 5000ull * 4999ull / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForSweep,
+                         ::testing::Values(1, 2, 3, 8, 24, 64));
+
+}  // namespace
+}  // namespace kf

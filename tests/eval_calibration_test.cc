@@ -1,0 +1,118 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kf::eval {
+namespace {
+
+struct Probe {
+  std::vector<double> prob;
+  std::vector<uint8_t> has;
+  std::vector<Label> labels;
+
+  void Add(double p, Label l) {
+    prob.push_back(p);
+    has.push_back(1);
+    labels.push_back(l);
+  }
+};
+
+TEST(CalibrationTest, PerfectCalibrationHasZeroDeviation) {
+  Probe s;
+  // Bucket [0.2,0.25): 4 triples at 0.225, exactly 1 true (real ~0.25)...
+  // use an exactly calibrated construction instead: p=0.5 with half true.
+  for (int i = 0; i < 10; ++i) s.Add(0.5, i % 2 ? Label::kTrue : Label::kFalse);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  EXPECT_NEAR(curve.deviation, 0.0, 1e-12);
+  EXPECT_NEAR(curve.weighted_deviation, 0.0, 1e-12);
+}
+
+TEST(CalibrationTest, AntiCalibratedHasLargeDeviation) {
+  Probe s;
+  for (int i = 0; i < 10; ++i) s.Add(0.95, Label::kFalse);
+  for (int i = 0; i < 10; ++i) s.Add(0.05, Label::kTrue);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  EXPECT_GT(curve.weighted_deviation, 0.7);
+}
+
+TEST(CalibrationTest, DedicatedBucketForExactlyOne) {
+  Probe s;
+  s.Add(1.0, Label::kTrue);
+  s.Add(0.97, Label::kFalse);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  ASSERT_EQ(curve.num_buckets(), 21u);  // l buckets + the p == 1 bucket
+  EXPECT_EQ(curve.count[19], 1u);  // [0.95,1.0) bucket
+  EXPECT_EQ(curve.count[20], 1u);  // the p == 1 bucket
+  EXPECT_DOUBLE_EQ(curve.real[20], 1.0);
+  EXPECT_DOUBLE_EQ(curve.real[19], 0.0);
+}
+
+TEST(CalibrationTest, UnknownAndUnpredictedExcluded) {
+  Probe s;
+  s.Add(0.9, Label::kTrue);
+  s.Add(0.9, Label::kUnknown);  // excluded: unlabeled
+  s.prob.push_back(0.9);        // excluded: no probability
+  s.has.push_back(0);
+  s.labels.push_back(Label::kTrue);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  uint64_t total = 0;
+  for (auto c : curve.count) total += c;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(CalibrationTest, WeightedVsUnweighted) {
+  Probe s;
+  // Big well-calibrated bucket + tiny badly-calibrated bucket: weighted
+  // deviation must be far smaller than unweighted.
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(0.5, i % 2 ? Label::kTrue : Label::kFalse);
+  }
+  s.Add(0.05, Label::kTrue);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  EXPECT_LT(curve.weighted_deviation, curve.deviation);
+}
+
+TEST(CalibrationTest, PredictedIsBucketMean) {
+  Probe s;
+  s.Add(0.52, Label::kTrue);
+  s.Add(0.54, Label::kFalse);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  // Both land in [0.50,0.55): mean predicted 0.53, real 0.5.
+  EXPECT_NEAR(curve.predicted[10], 0.53, 1e-9);
+  EXPECT_DOUBLE_EQ(curve.real[10], 0.5);
+}
+
+TEST(RealAccuracyInRangeTest, Basic) {
+  Probe s;
+  s.Add(0.95, Label::kTrue);
+  s.Add(0.92, Label::kFalse);
+  s.Add(0.5, Label::kTrue);
+  EXPECT_DOUBLE_EQ(RealAccuracyInRange(s.prob, s.has, s.labels, 0.9, 1.01),
+                   0.5);
+  EXPECT_DOUBLE_EQ(RealAccuracyInRange(s.prob, s.has, s.labels, 0.4, 0.6),
+                   1.0);
+  EXPECT_DOUBLE_EQ(RealAccuracyInRange(s.prob, s.has, s.labels, 0.0, 0.1),
+                   0.0);
+}
+
+class BucketCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketCountSweep, WeightedDeviationStableAcrossL) {
+  Probe s;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    double p = rng.NextDouble();
+    s.Add(p, rng.Bernoulli(p) ? Label::kTrue : Label::kFalse);
+  }
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, GetParam());
+  // Perfectly calibrated by construction: small deviation at any l.
+  EXPECT_LT(curve.weighted_deviation, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, BucketCountSweep,
+                         ::testing::Values(5, 10, 20, 50));
+
+}  // namespace
+}  // namespace kf::eval

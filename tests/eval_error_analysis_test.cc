@@ -1,0 +1,64 @@
+#include "eval/error_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/gold_standard.h"
+
+namespace kf::eval {
+namespace {
+
+TEST(ErrorAnalysisTest, CategorizesOnRealCorpus) {
+  synth::SynthCorpus corpus =
+      synth::GenerateCorpus(synth::SynthConfig::Small());
+  auto labels = BuildGoldStandard(corpus.dataset, corpus.freebase);
+  auto result = fusion::Fuse(corpus.dataset,
+                             fusion::FusionOptions::PopAccuPlus(), &labels);
+  auto breakdown = AnalyzeErrors(corpus, labels, result, 0.8, 0.2, 100, 7);
+
+  // Totals add up per side.
+  EXPECT_EQ(breakdown.fp.total,
+            breakdown.fp.common_extraction_error +
+                breakdown.fp.closed_world_assumption +
+                breakdown.fp.wrong_value_in_kb + breakdown.fp.source_claim);
+  EXPECT_EQ(breakdown.fp.closed_world_assumption,
+            breakdown.fp.lcwa_additional_value +
+                breakdown.fp.lcwa_specific_value +
+                breakdown.fp.lcwa_general_value);
+  EXPECT_EQ(breakdown.fn.total, breakdown.fn.multiple_truths +
+                                    breakdown.fn.specific_general_value +
+                                    breakdown.fn.other);
+  // There are errors to analyze on this corpus.
+  EXPECT_GT(breakdown.fp.total, 0u);
+  EXPECT_GT(breakdown.fn.total, 0u);
+  // Paper shape: LCWA artifacts and extraction errors both appear among
+  // the FPs.
+  EXPECT_GT(breakdown.fp.common_extraction_error +
+                breakdown.fp.closed_world_assumption,
+            0u);
+}
+
+TEST(ErrorAnalysisTest, SampleSizeCapsTotals) {
+  synth::SynthCorpus corpus =
+      synth::GenerateCorpus(synth::SynthConfig::Small());
+  auto labels = BuildGoldStandard(corpus.dataset, corpus.freebase);
+  auto result = fusion::Fuse(corpus.dataset,
+                             fusion::FusionOptions::PopAccu(), &labels);
+  auto breakdown = AnalyzeErrors(corpus, labels, result, 0.7, 0.3, 5, 7);
+  EXPECT_LE(breakdown.fp.total, 5u);
+  EXPECT_LE(breakdown.fn.total, 5u);
+}
+
+TEST(ErrorAnalysisTest, DeterministicForSeed) {
+  synth::SynthCorpus corpus =
+      synth::GenerateCorpus(synth::SynthConfig::Small());
+  auto labels = BuildGoldStandard(corpus.dataset, corpus.freebase);
+  auto result = fusion::Fuse(corpus.dataset,
+                             fusion::FusionOptions::PopAccu(), &labels);
+  auto a = AnalyzeErrors(corpus, labels, result, 0.8, 0.2, 20, 9);
+  auto b = AnalyzeErrors(corpus, labels, result, 0.8, 0.2, 20, 9);
+  EXPECT_EQ(a.fp.common_extraction_error, b.fp.common_extraction_error);
+  EXPECT_EQ(a.fn.multiple_truths, b.fn.multiple_truths);
+}
+
+}  // namespace
+}  // namespace kf::eval

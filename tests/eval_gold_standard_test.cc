@@ -1,0 +1,63 @@
+#include "eval/gold_standard.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::eval {
+namespace {
+
+TEST(GoldStandardTest, LcwaThreeWayLabeling) {
+  extract::ExtractionDataset d;
+  kb::DataItem known{1, 0}, unknown{2, 0};
+  kb::TripleId t_true = d.InternTriple(known, 10, false, false);
+  kb::TripleId t_false = d.InternTriple(known, 11, false, false);
+  kb::TripleId t_unknown = d.InternTriple(unknown, 12, false, false);
+
+  kb::KnowledgeBase reference;
+  reference.AddTriple(known, 10);
+
+  auto labels = BuildGoldStandard(d, reference);
+  EXPECT_EQ(labels[t_true], Label::kTrue);
+  EXPECT_EQ(labels[t_false], Label::kFalse);   // item known, value absent
+  EXPECT_EQ(labels[t_unknown], Label::kUnknown);  // item unknown: abstain
+}
+
+TEST(GoldStandardTest, MultiValuedItemsLabelEachValue) {
+  extract::ExtractionDataset d;
+  kb::DataItem item{1, 0};
+  kb::TripleId a = d.InternTriple(item, 10, false, false);
+  kb::TripleId b = d.InternTriple(item, 11, false, false);
+  kb::TripleId c = d.InternTriple(item, 12, false, false);
+  kb::KnowledgeBase reference;
+  reference.AddTriple(item, 10);
+  reference.AddTriple(item, 11);
+  auto labels = BuildGoldStandard(d, reference);
+  EXPECT_EQ(labels[a], Label::kTrue);
+  EXPECT_EQ(labels[b], Label::kTrue);
+  EXPECT_EQ(labels[c], Label::kFalse);
+}
+
+TEST(GoldStandardTest, SummaryStats) {
+  std::vector<Label> labels = {Label::kTrue, Label::kFalse, Label::kFalse,
+                               Label::kUnknown, Label::kTrue,
+                               Label::kUnknown};
+  auto s = SummarizeGold(labels);
+  EXPECT_EQ(s.num_triples, 6u);
+  EXPECT_EQ(s.num_labeled, 4u);
+  EXPECT_EQ(s.num_true, 2u);
+  EXPECT_EQ(s.num_false, 2u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(s.labeled_fraction, 4.0 / 6.0);
+}
+
+TEST(GoldStandardTest, EmptyDataset) {
+  extract::ExtractionDataset d;
+  kb::KnowledgeBase reference;
+  auto labels = BuildGoldStandard(d, reference);
+  EXPECT_TRUE(labels.empty());
+  auto s = SummarizeGold(labels);
+  EXPECT_EQ(s.num_labeled, 0u);
+  EXPECT_EQ(s.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,78 @@
+#include "eval/kappa.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::eval {
+namespace {
+
+TEST(KappaMeasureTest, IndependenceGivesZero) {
+  // |T1 ∩ T2| = |T1||T2|/|KB| is the independence expectation.
+  // |T1|=100, |T2|=200, |KB|=1000 -> expected intersection 20.
+  EXPECT_NEAR(KappaMeasure(20, 100, 200, 1000), 0.0, 1e-12);
+}
+
+TEST(KappaMeasureTest, PositiveWhenOverlapExceedsExpectation) {
+  EXPECT_GT(KappaMeasure(80, 100, 200, 1000), 0.0);
+}
+
+TEST(KappaMeasureTest, NegativeWhenOverlapBelowExpectation) {
+  EXPECT_LT(KappaMeasure(0, 100, 200, 1000), 0.0);
+}
+
+TEST(KappaMeasureTest, FullOverlapOfIdenticalSets) {
+  EXPECT_NEAR(KappaMeasure(500, 500, 500, 1000), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KappaMeasureTest, DegenerateDenominator) {
+  EXPECT_EQ(KappaMeasure(5, 5, 5, 5), 0.0)
+      << "|KB|^2 == |T1||T2| must not divide by zero";
+}
+
+TEST(ExtractorKappasTest, PairsAndContentFlags) {
+  extract::ExtractionDataset d;
+  d.SetExtractors({extract::ExtractorMeta{"A", extract::ContentType::kTxt,
+                                          true, 0, 0},
+                   extract::ExtractorMeta{"B", extract::ContentType::kTxt,
+                                          true, 0, 0},
+                   extract::ExtractorMeta{"C", extract::ContentType::kDom,
+                                          true, 1, 0}});
+  d.SetUrlSites({0});
+  d.SetCounts(1, 3, 1);
+  // A and B overlap heavily; C is disjoint.
+  for (int i = 0; i < 10; ++i) {
+    kb::TripleId t = d.InternTriple(kb::DataItem{static_cast<uint32_t>(i), 0},
+                                    static_cast<uint32_t>(i), false, false);
+    for (uint32_t e : {0u, 1u}) {
+      extract::ExtractionRecord r;
+      r.triple = t;
+      r.prov.extractor = e;
+      d.AddRecord(r);
+    }
+  }
+  for (int i = 10; i < 20; ++i) {
+    kb::TripleId t = d.InternTriple(kb::DataItem{static_cast<uint32_t>(i), 0},
+                                    static_cast<uint32_t>(i), false, false);
+    extract::ExtractionRecord r;
+    r.triple = t;
+    r.prov.extractor = 2;
+    d.AddRecord(r);
+  }
+  auto pairs = ComputeExtractorKappas(d);
+  ASSERT_EQ(pairs.size(), 3u);  // AB, AC, BC
+  // AB: same content, strong positive correlation.
+  const KappaPair* ab = nullptr;
+  const KappaPair* ac = nullptr;
+  for (const auto& p : pairs) {
+    if (p.e1 == 0 && p.e2 == 1) ab = &p;
+    if (p.e1 == 0 && p.e2 == 2) ac = &p;
+  }
+  ASSERT_NE(ab, nullptr);
+  ASSERT_NE(ac, nullptr);
+  EXPECT_TRUE(ab->same_content);
+  EXPECT_GT(ab->kappa, 0.3);
+  EXPECT_FALSE(ac->same_content);
+  EXPECT_LT(ac->kappa, 0.0);  // disjoint -> anti-correlated
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,95 @@
+#include "eval/pr_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kf::eval {
+namespace {
+
+struct Probe {
+  std::vector<double> prob;
+  std::vector<uint8_t> has;
+  std::vector<Label> labels;
+
+  void Add(double p, Label l) {
+    prob.push_back(p);
+    has.push_back(1);
+    labels.push_back(l);
+  }
+};
+
+TEST(PRTest, PerfectRankingHasAucOne) {
+  Probe s;
+  for (int i = 0; i < 10; ++i) s.Add(0.9, Label::kTrue);
+  for (int i = 0; i < 10; ++i) s.Add(0.1, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  EXPECT_NEAR(curve.auc, 1.0, 1e-9);
+}
+
+TEST(PRTest, InvertedRankingHasLowAuc) {
+  Probe s;
+  for (int i = 0; i < 10; ++i) s.Add(0.1, Label::kTrue);
+  for (int i = 0; i < 90; ++i) s.Add(0.9, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  EXPECT_LT(curve.auc, 0.15);
+}
+
+TEST(PRTest, UniformScoreEqualsBaseRate) {
+  Probe s;
+  for (int i = 0; i < 30; ++i) s.Add(0.5, Label::kTrue);
+  for (int i = 0; i < 70; ++i) s.Add(0.5, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  // One tie group: precision = base rate at recall 1.
+  EXPECT_NEAR(curve.auc, 0.3, 1e-9);
+}
+
+TEST(PRTest, TieGroupsMoveTogether) {
+  Probe s;
+  s.Add(0.9, Label::kTrue);
+  s.Add(0.5, Label::kTrue);
+  s.Add(0.5, Label::kFalse);
+  s.Add(0.1, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  // Points: after 0.9 group (p=1, r=.5); after 0.5 group (p=2/3, r=1).
+  ASSERT_GE(curve.recall.size(), 2u);
+  EXPECT_NEAR(curve.auc, 0.5 * 1.0 + 0.5 * (2.0 / 3.0), 1e-9);
+}
+
+TEST(PRTest, ExcludesUnlabeledAndUnpredicted) {
+  Probe s;
+  s.Add(0.9, Label::kTrue);
+  s.Add(0.8, Label::kUnknown);
+  s.prob.push_back(0.7);
+  s.has.push_back(0);
+  s.labels.push_back(Label::kFalse);
+  s.Add(0.1, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  EXPECT_NEAR(curve.auc, 1.0, 1e-9);
+}
+
+TEST(PRTest, NoTruePositivesGivesEmptyCurve) {
+  Probe s;
+  s.Add(0.9, Label::kFalse);
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  EXPECT_EQ(curve.auc, 0.0);
+  EXPECT_TRUE(curve.recall.empty());
+}
+
+TEST(PRTest, MonotoneRecall) {
+  Probe s;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    double p = rng.NextDouble();
+    s.Add(p, rng.Bernoulli(p) ? Label::kTrue : Label::kFalse);
+  }
+  auto curve = ComputePR(s.prob, s.has, s.labels);
+  for (size_t i = 1; i < curve.recall.size(); ++i) {
+    EXPECT_GE(curve.recall[i], curve.recall[i - 1]);
+  }
+  // Calibrated scores: AUC well above the ~0.5 base rate.
+  EXPECT_GT(curve.auc, 0.6);
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,64 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::eval {
+namespace {
+
+fusion::FusionResult MakeResult(std::vector<double> probs) {
+  fusion::FusionResult r;
+  r.probability = std::move(probs);
+  r.has_probability.assign(r.probability.size(), 1);
+  r.from_fallback.assign(r.probability.size(), 0);
+  return r;
+}
+
+TEST(ReportTest, BundlesMetrics) {
+  auto result = MakeResult({0.9, 0.9, 0.1, 0.1});
+  std::vector<Label> labels = {Label::kTrue, Label::kTrue, Label::kFalse,
+                               Label::kFalse};
+  ModelReport report = EvaluateModel("perfect", result, labels);
+  EXPECT_EQ(report.name, "perfect");
+  EXPECT_NEAR(report.auc_pr, 1.0, 1e-9);
+  EXPECT_EQ(report.coverage, 1.0);
+  EXPECT_EQ(report.deviation, report.calibration.deviation);
+  EXPECT_EQ(report.weighted_deviation,
+            report.calibration.weighted_deviation);
+}
+
+TEST(ReportTest, CoverageReflectsMask) {
+  auto result = MakeResult({0.9, 0.1});
+  result.has_probability[1] = 0;
+  std::vector<Label> labels = {Label::kTrue, Label::kFalse};
+  ModelReport report = EvaluateModel("partial", result, labels);
+  EXPECT_DOUBLE_EQ(report.coverage, 0.5);
+}
+
+TEST(RenderTest, CalibrationTableSkipsEmptyBuckets) {
+  auto result = MakeResult({0.9, 0.1});
+  std::vector<Label> labels = {Label::kTrue, Label::kFalse};
+  ModelReport report = EvaluateModel("x", result, labels);
+  std::string table = RenderCalibration(report.calibration);
+  // Header + rule + exactly two populated buckets.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+  EXPECT_NE(table.find("predicted"), std::string::npos);
+}
+
+TEST(RenderTest, PRCurveRendering) {
+  auto result = MakeResult({0.9, 0.7, 0.3, 0.1});
+  std::vector<Label> labels = {Label::kTrue, Label::kFalse, Label::kTrue,
+                               Label::kFalse};
+  ModelReport report = EvaluateModel("x", result, labels);
+  std::string table = RenderPR(report.pr);
+  EXPECT_NE(table.find("recall"), std::string::npos);
+  EXPECT_GT(std::count(table.begin(), table.end(), '\n'), 2);
+}
+
+TEST(RenderTest, EmptyPRCurve) {
+  PRCurve empty;
+  std::string table = RenderPR(empty);
+  EXPECT_NE(table.find("recall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,171 @@
+#include "extract/corpus_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::extract {
+namespace {
+
+// A tiny hand-built dataset: 2 extractors, 3 urls on 2 sites, 4 triples.
+struct Fixture {
+  ExtractionDataset dataset;
+  std::vector<Label> labels;
+
+  Fixture() {
+    dataset.SetExtractors(
+        {ExtractorMeta{"TXT", ContentType::kTxt, true, 0, 0},
+         ExtractorMeta{"DOM", ContentType::kDom, true, 1, 0}});
+    dataset.SetUrlSites({0, 0, 1});
+    dataset.SetCounts(2, 2, 3);
+    kb::DataItem i1{1, 0}, i2{2, 1};
+    t_true1 = dataset.InternTriple(i1, 10, true, true);
+    t_false1 = dataset.InternTriple(i1, 11, false, false);
+    t_true2 = dataset.InternTriple(i2, 12, true, true);
+    t_unknown = dataset.InternTriple(kb::DataItem{3, 2}, 13, false, false);
+    labels = {Label::kTrue, Label::kFalse, Label::kTrue, Label::kUnknown};
+
+    auto add = [&](kb::TripleId t, uint32_t e, uint32_t url, float conf) {
+      ExtractionRecord r;
+      r.triple = t;
+      r.prov.extractor = e;
+      r.prov.url = url;
+      r.prov.site = dataset.site_of_url(url);
+      r.prov.pattern = e;
+      r.prov.predicate = dataset.item(dataset.triple(t).item).predicate;
+      r.confidence = conf;
+      r.has_confidence = true;
+      dataset.AddRecord(r);
+    };
+    add(t_true1, 0, 0, 0.9f);
+    add(t_true1, 1, 1, 0.8f);
+    add(t_false1, 0, 1, 0.3f);
+    add(t_true2, 1, 2, 0.95f);
+    add(t_unknown, 0, 2, 0.5f);
+  }
+
+  kb::TripleId t_true1, t_false1, t_true2, t_unknown;
+};
+
+TEST(SkewTest, MeanMedianMinMax) {
+  auto s = ComputeSkew({1, 2, 3, 100});
+  EXPECT_DOUBLE_EQ(s.mean, 26.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  auto odd = ComputeSkew({5, 1, 9});
+  EXPECT_DOUBLE_EQ(odd.median, 5.0);
+}
+
+TEST(SkewTest, Empty) {
+  auto s = ComputeSkew({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(OverviewTest, Counts) {
+  Fixture f;
+  auto s = ComputeOverview(f.dataset);
+  EXPECT_EQ(s.num_records, 5u);
+  EXPECT_EQ(s.num_unique_triples, 4u);
+  EXPECT_EQ(s.num_subjects, 3u);
+  EXPECT_EQ(s.num_predicates, 3u);
+  EXPECT_EQ(s.num_objects, 4u);
+  EXPECT_EQ(s.num_items, 3u);
+  EXPECT_EQ(s.records_per_url.max, 2u);
+}
+
+TEST(ExtractorStatsTest, PerExtractorAccuracy) {
+  Fixture f;
+  auto stats = ComputeExtractorStats(f.dataset, f.labels);
+  ASSERT_EQ(stats.size(), 2u);
+  // Extractor 0: triples {true1, false1, unknown} -> labeled 2, correct 1.
+  EXPECT_EQ(stats[0].num_records, 3u);
+  EXPECT_EQ(stats[0].num_unique_triples, 3u);
+  EXPECT_DOUBLE_EQ(stats[0].accuracy, 0.5);
+  // High-conf (>= .7): only true1 -> accuracy 1.
+  EXPECT_DOUBLE_EQ(stats[0].accuracy_high_conf, 1.0);
+  // Extractor 1: triples {true1, true2} both true.
+  EXPECT_DOUBLE_EQ(stats[1].accuracy, 1.0);
+  EXPECT_EQ(stats[1].num_pages, 2u);
+}
+
+TEST(ContentOverlapTest, MasksByContentType) {
+  Fixture f;
+  auto overlap = ContentTypeOverlap(f.dataset);
+  // t_true1 seen by TXT and DOM -> mask 0b11 = 3.
+  EXPECT_EQ(overlap[3], 1u);
+  // t_false1 and t_unknown only TXT (mask 1), t_true2 only DOM (mask 2).
+  EXPECT_EQ(overlap[1], 2u);
+  EXPECT_EQ(overlap[2], 1u);
+}
+
+TEST(PredicateAccuracyTest, Histogram) {
+  Fixture f;
+  auto hist = PredicateAccuracyHistogram(f.dataset, f.labels,
+                                         /*min_labeled=*/1,
+                                         /*num_buckets=*/10);
+  // Predicate 0: labeled {true,false} -> accuracy 0.5 -> bucket 5.
+  // Predicate 1: accuracy 1.0 -> final bucket. Predicate 2: unlabeled.
+  EXPECT_DOUBLE_EQ(hist[5], 0.5);
+  EXPECT_DOUBLE_EQ(hist[10], 0.5);
+}
+
+TEST(SupportTest, AccuracyByExtractors) {
+  Fixture f;
+  auto bins = AccuracyBySupport(f.dataset, f.labels,
+                                SupportKind::kExtractors, 1, 12);
+  // Support 1: {false1 (F), true2 (T)} -> 0.5 ; support 2: {true1} -> 1.0.
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].support_lo, 1u);
+  EXPECT_DOUBLE_EQ(bins[0].accuracy, 0.5);
+  EXPECT_EQ(bins[1].support_lo, 2u);
+  EXPECT_DOUBLE_EQ(bins[1].accuracy, 1.0);
+}
+
+TEST(SupportTest, ExtractorCountFilters) {
+  Fixture f;
+  auto only_multi = AccuracyBySupport(f.dataset, f.labels,
+                                      SupportKind::kUrls, 1, 10,
+                                      /*min_extractors=*/2);
+  // Only t_true1 has 2 extractors; it spans 2 urls.
+  ASSERT_EQ(only_multi.size(), 1u);
+  EXPECT_EQ(only_multi[0].support_lo, 2u);
+  EXPECT_EQ(only_multi[0].num_labeled, 1u);
+}
+
+TEST(TruthCountTest, Distribution) {
+  Fixture f;
+  auto dist = TruthCountDistribution(f.dataset, f.labels);
+  // Item i1: 1 truth; item i2: 1 truth; item 3: unlabeled (excluded).
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+}
+
+TEST(ConfidenceTest, ProfileAndThresholdCoverage) {
+  Fixture f;
+  auto profile = ComputeConfidenceProfile(f.dataset, f.labels, 0);
+  // Extractor 0's labeled triples: true1@0.9 (bucket 9), false1@0.3
+  // (bucket 3).
+  EXPECT_EQ(profile.count[9], 1u);
+  EXPECT_EQ(profile.count[3], 1u);
+  EXPECT_DOUBLE_EQ(profile.accuracy[9], 1.0);
+  EXPECT_DOUBLE_EQ(profile.accuracy[3], 0.0);
+
+  // Record confidences: .9 .8 .3 .95 .5
+  auto cov = CoverageByConfidenceThreshold(f.dataset);
+  EXPECT_DOUBLE_EQ(cov[0], 1.0);           // threshold 0.1: all pass
+  EXPECT_NEAR(cov[8], 2.0 / 5.0, 1e-9);    // threshold 0.9: .9 and .95
+  EXPECT_DOUBLE_EQ(cov[9], 0.0);           // threshold 1.0: none
+}
+
+TEST(GapTest, RequiresTwoQualifyingExtractors) {
+  Fixture f;
+  // min_triples=1: url 1 has extractor 0 (acc 0) and extractor 1 (acc 1)
+  // -> gap 1.0 bucket ">.5".
+  auto gap = ExtractorGapHistogram(f.dataset, f.labels, 1);
+  EXPECT_EQ(gap.num_pages, 1u);
+  EXPECT_DOUBLE_EQ(gap.fraction[6], 1.0);
+  EXPECT_DOUBLE_EQ(gap.frac_above_half, 1.0);
+}
+
+}  // namespace
+}  // namespace kf::extract

@@ -1,0 +1,91 @@
+#include "extract/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::extract {
+namespace {
+
+TEST(DatasetTest, InternItemDedupes) {
+  ExtractionDataset d;
+  kb::DataItem item{1, 2};
+  EXPECT_EQ(d.InternItem(item), 0u);
+  EXPECT_EQ(d.InternItem(kb::DataItem{3, 4}), 1u);
+  EXPECT_EQ(d.InternItem(item), 0u);
+  EXPECT_EQ(d.num_items(), 2u);
+}
+
+TEST(DatasetTest, InternTripleDedupesAndTracksItems) {
+  ExtractionDataset d;
+  kb::DataItem item{1, 2};
+  kb::TripleId a = d.InternTriple(item, 10, true, true);
+  kb::TripleId b = d.InternTriple(item, 11, false, false);
+  kb::TripleId c = d.InternTriple(item, 10, false, false);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.num_triples(), 2u);
+  EXPECT_EQ(d.num_items(), 1u);
+  EXPECT_EQ(d.triple(a).item, d.triple(b).item);
+}
+
+TEST(DatasetTest, TruthFlagsAreSticky) {
+  // Any faithful sighting marks the triple true, later corrupt sightings
+  // must not clear it.
+  ExtractionDataset d;
+  kb::DataItem item{1, 2};
+  kb::TripleId t = d.InternTriple(item, 10, false, false);
+  EXPECT_FALSE(d.triple(t).true_in_world);
+  d.InternTriple(item, 10, true, true);
+  EXPECT_TRUE(d.triple(t).true_in_world);
+  EXPECT_TRUE(d.triple(t).hierarchy_true);
+  d.InternTriple(item, 10, false, false);
+  EXPECT_TRUE(d.triple(t).true_in_world);
+}
+
+TEST(DatasetTest, FindTriple) {
+  ExtractionDataset d;
+  kb::DataItem item{5, 6};
+  kb::TripleId t = d.InternTriple(item, 7, false, false);
+  EXPECT_EQ(d.FindTriple(item, 7), t);
+  EXPECT_EQ(d.FindTriple(item, 8), kb::kInvalidId);
+  EXPECT_EQ(d.FindTriple(kb::DataItem{6, 5}, 7), kb::kInvalidId);
+}
+
+TEST(DatasetTest, RecordsAndSideTables) {
+  ExtractionDataset d;
+  d.SetExtractors({ExtractorMeta{"E1", ContentType::kTxt, true, 0, 0},
+                   ExtractorMeta{"E2", ContentType::kDom, false, 1, 0}});
+  d.SetUrlSites({0, 0, 1});
+  d.SetCounts(2, 5, 7);
+  kb::TripleId t = d.InternTriple(kb::DataItem{1, 1}, 2, false, false);
+  ExtractionRecord r;
+  r.triple = t;
+  r.prov.extractor = 1;
+  r.prov.url = 2;
+  r.prov.site = 1;
+  d.AddRecord(r);
+  EXPECT_EQ(d.num_records(), 1u);
+  EXPECT_EQ(d.num_extractors(), 2u);
+  EXPECT_EQ(d.num_urls(), 3u);
+  EXPECT_EQ(d.site_of_url(2), 1u);
+  EXPECT_EQ(d.num_sites(), 2u);
+  EXPECT_EQ(d.num_patterns(), 5u);
+  EXPECT_EQ(d.num_predicates(), 7u);
+  EXPECT_EQ(d.extractors()[1].name, "E2");
+}
+
+TEST(ErrorClassTest, Names) {
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kNone), "none");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kSourceError), "source-error");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kTripleIdentification),
+               "triple-identification");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kEntityLinkage), "entity-linkage");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kPredicateLinkage),
+               "predicate-linkage");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kMoreSpecificValue),
+               "more-specific-value");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kMoreGeneralValue),
+               "more-general-value");
+}
+
+}  // namespace
+}  // namespace kf::extract

@@ -1,0 +1,95 @@
+#include "extract/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace kf::extract {
+namespace {
+
+Provenance MakeProv() {
+  Provenance p;
+  p.extractor = 3;
+  p.url = 100;
+  p.site = 7;
+  p.pattern = 42;
+  p.predicate = 5;
+  return p;
+}
+
+TEST(GranularityTest, Presets) {
+  EXPECT_EQ(Granularity::ExtractorUrl().ToString(), "(Extractor, URL)");
+  EXPECT_EQ(Granularity::ExtractorSite().ToString(), "(Extractor, Site)");
+  EXPECT_EQ(Granularity::ExtractorSitePredicate().ToString(),
+            "(Extractor, Site, Predicate)");
+  EXPECT_EQ(Granularity::ExtractorSitePredicatePattern().ToString(),
+            "(Extractor, Site, Predicate, Pattern)");
+  EXPECT_EQ(Granularity::OnlyUrl().ToString(), "(URL)");
+  EXPECT_EQ(Granularity::OnlyExtractorPattern().ToString(),
+            "(Extractor, Pattern)");
+}
+
+TEST(ProvenanceKeyTest, StableForSameInputs) {
+  Provenance p = MakeProv();
+  Granularity g = Granularity::ExtractorUrl();
+  EXPECT_EQ(ProvenanceKey(p, g), ProvenanceKey(p, g));
+}
+
+TEST(ProvenanceKeyTest, SensitiveToSelectedFields) {
+  Provenance a = MakeProv();
+  Provenance b = a;
+  b.url = 101;
+  Granularity url_level = Granularity::ExtractorUrl();
+  EXPECT_NE(ProvenanceKey(a, url_level), ProvenanceKey(b, url_level));
+  // Site-level ignores the URL difference.
+  Granularity site_level = Granularity::ExtractorSite();
+  EXPECT_EQ(ProvenanceKey(a, site_level), ProvenanceKey(b, site_level));
+}
+
+TEST(ProvenanceKeyTest, IgnoresUnselectedFields) {
+  Provenance a = MakeProv();
+  Provenance b = a;
+  b.pattern = 999;
+  b.predicate = 9;
+  Granularity g = Granularity::ExtractorUrl();
+  EXPECT_EQ(ProvenanceKey(a, g), ProvenanceKey(b, g));
+  Granularity fine = Granularity::ExtractorSitePredicatePattern();
+  EXPECT_NE(ProvenanceKey(a, fine), ProvenanceKey(b, fine));
+}
+
+TEST(ProvenanceKeyTest, DifferentGranularitiesDiffer) {
+  // Field tags keep (extractor=1, url=k) from colliding with
+  // (extractor=k, url=1)-style transpositions.
+  Provenance a;
+  a.extractor = 1;
+  a.url = 2;
+  Provenance b;
+  b.extractor = 2;
+  b.url = 1;
+  Granularity g = Granularity::ExtractorUrl();
+  EXPECT_NE(ProvenanceKey(a, g), ProvenanceKey(b, g));
+}
+
+TEST(ProvenanceKeyTest, NoCollisionsOnDenseIdGrid) {
+  Granularity g = Granularity::ExtractorUrl();
+  std::unordered_set<uint64_t> keys;
+  for (uint32_t e = 0; e < 12; ++e) {
+    for (uint32_t u = 0; u < 5000; ++u) {
+      Provenance p;
+      p.extractor = e;
+      p.url = u;
+      keys.insert(ProvenanceKey(p, g));
+    }
+  }
+  EXPECT_EQ(keys.size(), 12u * 5000u);
+}
+
+TEST(ContentTypeTest, Names) {
+  EXPECT_STREQ(ContentTypeName(ContentType::kTxt), "TXT");
+  EXPECT_STREQ(ContentTypeName(ContentType::kDom), "DOM");
+  EXPECT_STREQ(ContentTypeName(ContentType::kTbl), "TBL");
+  EXPECT_STREQ(ContentTypeName(ContentType::kAno), "ANO");
+}
+
+}  // namespace
+}  // namespace kf::extract

@@ -1,0 +1,104 @@
+#include "extract/tsv_io.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/engine.h"
+
+namespace kf::extract {
+namespace {
+
+constexpr const char* kSample =
+    "subject\tpredicate\tobject\textractor\turl\tconfidence\n"
+    "# a comment line\n"
+    "TomCruise\tbirth_date\t1962-07-03\tdom\thttps://a.org/p1\t0.9\n"
+    "TomCruise\tbirth_date\t1962-07-03\ttxt\thttps://b.org/p2\t0.7\n"
+    "TomCruise\tbirth_date\t1963-07-03\ttxt\thttps://c.org/p3\t0.2\n"
+    "TopGun\trelease_year\t1986\ttbl\thttps://a.org/p4\n";
+
+TEST(TsvIoTest, ParsesRowsAndInterning) {
+  auto result = ReadExtractionsTsv(kSample);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TsvCorpus& corpus = *result;
+  EXPECT_EQ(corpus.dataset.num_records(), 4u);
+  EXPECT_EQ(corpus.dataset.num_triples(), 3u);
+  EXPECT_EQ(corpus.dataset.num_items(), 2u);
+  EXPECT_EQ(corpus.dataset.num_extractors(), 3u);
+  EXPECT_EQ(corpus.dataset.num_urls(), 4u);
+  // Site extraction groups a.org pages together.
+  EXPECT_EQ(corpus.dataset.num_sites(), 3u);
+  EXPECT_EQ(corpus.dataset.site_of_url(0), corpus.dataset.site_of_url(3));
+}
+
+TEST(TsvIoTest, ConfidenceOptionalPerRow) {
+  auto result = ReadExtractionsTsv(kSample);
+  ASSERT_TRUE(result.ok());
+  const auto& records = result->dataset.records();
+  EXPECT_TRUE(records[0].has_confidence);
+  EXPECT_FLOAT_EQ(records[0].confidence, 0.9f);
+  EXPECT_FALSE(records[3].has_confidence);
+}
+
+TEST(TsvIoTest, RejectsShortRows) {
+  auto result = ReadExtractionsTsv("a\tb\tc\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvIoTest, RejectsBadConfidence) {
+  auto result =
+      ReadExtractionsTsv("s\tp\to\te\tu\tnot_a_number\n");
+  EXPECT_FALSE(result.ok());
+  auto result2 = ReadExtractionsTsv("s\tp\to\te\tu\t1.7\n");
+  EXPECT_FALSE(result2.ok());
+}
+
+TEST(TsvIoTest, RoundTrip) {
+  auto first = ReadExtractionsTsv(kSample);
+  ASSERT_TRUE(first.ok());
+  std::string serialized = WriteExtractionsTsv(*first);
+  auto second = ReadExtractionsTsv(serialized);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->dataset.num_records(), first->dataset.num_records());
+  EXPECT_EQ(second->dataset.num_triples(), first->dataset.num_triples());
+  EXPECT_EQ(second->dataset.num_extractors(),
+            first->dataset.num_extractors());
+}
+
+TEST(TsvIoTest, FuseAndExportResults) {
+  auto corpus = ReadExtractionsTsv(kSample);
+  ASSERT_TRUE(corpus.ok());
+  fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
+  opts.granularity = Granularity::ExtractorSite();
+  auto fused = fusion::Fuse(corpus->dataset, opts);
+  std::string tsv = WriteResultsTsv(*corpus, fused.probability,
+                                    fused.has_probability);
+  // Header + 3 unique triples.
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 4);
+  EXPECT_NE(tsv.find("1962-07-03"), std::string::npos);
+  // The supported birth date outranks the conflicting one.
+  size_t good = tsv.find("1962-07-03");
+  size_t bad = tsv.find("1963-07-03");
+  ASSERT_NE(bad, std::string::npos);
+  double p_good = std::stod(tsv.substr(tsv.find('\t', good) + 1));
+  (void)p_good;
+  ASSERT_NE(good, std::string::npos);
+}
+
+TEST(TsvIoTest, FileRoundTrip) {
+  auto corpus = ReadExtractionsTsv(kSample);
+  ASSERT_TRUE(corpus.ok());
+  std::string path = ::testing::TempDir() + "/kf_tsv_io_test.tsv";
+  ASSERT_TRUE(WriteFile(path, WriteExtractionsTsv(*corpus)).ok());
+  auto loaded = ReadExtractionsTsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dataset.num_records(), corpus->dataset.num_records());
+}
+
+TEST(TsvIoTest, MissingFileIsIOError) {
+  auto result = ReadExtractionsTsvFile("/nonexistent/path/file.tsv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace kf::extract

@@ -1,0 +1,97 @@
+#include "fusion/claims.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::fusion {
+namespace {
+
+extract::ExtractionDataset TwoSiteDataset() {
+  extract::ExtractionDataset d;
+  d.SetExtractors({extract::ExtractorMeta{"E0", extract::ContentType::kTxt,
+                                          true, 0, 0},
+                   extract::ExtractorMeta{"E1", extract::ContentType::kDom,
+                                          false, 1, 0}});
+  d.SetUrlSites({0, 0, 1});
+  d.SetCounts(2, 2, 2);
+  auto add = [&](kb::ValueId o, uint32_t ext, uint32_t url, float conf,
+                 bool has_conf) {
+    kb::TripleId t = d.InternTriple(kb::DataItem{1, 0}, o, false, false);
+    extract::ExtractionRecord r;
+    r.triple = t;
+    r.prov.extractor = ext;
+    r.prov.url = url;
+    r.prov.site = d.site_of_url(url);
+    r.prov.pattern = ext;
+    r.prov.predicate = 0;
+    r.confidence = conf;
+    r.has_confidence = has_conf;
+    d.AddRecord(r);
+  };
+  add(10, 0, 0, 0.5f, true);
+  add(10, 0, 0, 0.9f, true);  // duplicate (prov, triple), higher conf
+  add(10, 0, 1, 0.4f, true);  // same extractor, other url, same site
+  add(11, 1, 2, 0.0f, false);
+  return d;
+}
+
+TEST(ClaimSetTest, DedupesAtUrlGranularity) {
+  auto d = TwoSiteDataset();
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorUrl());
+  // (E0,url0,t10), (E0,url1,t10), (E1,url2,t11).
+  EXPECT_EQ(set.claims.size(), 3u);
+  EXPECT_EQ(set.num_provs, 3u);
+}
+
+TEST(ClaimSetTest, DedupesAtSiteGranularity) {
+  auto d = TwoSiteDataset();
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorSite());
+  // url0 and url1 share site 0, so E0's two claims on t10 collapse.
+  EXPECT_EQ(set.claims.size(), 2u);
+  EXPECT_EQ(set.num_provs, 2u);
+}
+
+TEST(ClaimSetTest, KeepsMaxConfidence) {
+  auto d = TwoSiteDataset();
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorUrl());
+  // The duplicate record had confidence 0.9 > 0.5.
+  bool found = false;
+  for (size_t i = 0; i < set.claims.size(); ++i) {
+    if (set.claims[i].triple == d.FindTriple(kb::DataItem{1, 0}, 10) &&
+        set.confidence[i] > 0.0f) {
+      EXPECT_GE(set.confidence[i], 0.4f);
+      if (set.confidence[i] == 0.9f) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClaimSetTest, NoConfidenceIsMinusOne) {
+  auto d = TwoSiteDataset();
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorUrl());
+  kb::TripleId t11 = d.FindTriple(kb::DataItem{1, 0}, 11);
+  for (size_t i = 0; i < set.claims.size(); ++i) {
+    if (set.claims[i].triple == t11) {
+      EXPECT_FLOAT_EQ(set.confidence[i], -1.0f);
+    }
+  }
+}
+
+TEST(ClaimSetTest, CountsPerProvenanceAndItem) {
+  auto d = TwoSiteDataset();
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorUrl());
+  uint32_t total_prov = 0, total_item = 0;
+  for (uint32_t c : set.prov_claims) total_prov += c;
+  for (uint32_t c : set.item_claims) total_item += c;
+  EXPECT_EQ(total_prov, set.claims.size());
+  EXPECT_EQ(total_item, set.claims.size());
+}
+
+TEST(ClaimSetTest, EmptyDataset) {
+  extract::ExtractionDataset d;
+  ClaimSet set = BuildClaimSet(d, extract::Granularity::ExtractorUrl());
+  EXPECT_TRUE(set.claims.empty());
+  EXPECT_EQ(set.num_provs, 0u);
+}
+
+}  // namespace
+}  // namespace kf::fusion

@@ -1,0 +1,147 @@
+// Tests of the Section 4.3 refinements on a real synthetic corpus:
+// granularity, coverage filter, accuracy filter, gold initialization, and
+// the option presets.
+#include <gtest/gtest.h>
+
+#include "eval/calibration.h"
+#include "eval/gold_standard.h"
+#include "eval/pr_curve.h"
+#include "fusion/engine.h"
+#include "synth/corpus.h"
+
+namespace kf::fusion {
+namespace {
+
+class RefinementsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new synth::SynthCorpus(
+        synth::GenerateCorpus(synth::SynthConfig::Small()));
+    labels_ = new std::vector<Label>(
+        eval::BuildGoldStandard(corpus_->dataset, corpus_->freebase));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete labels_;
+  }
+  static synth::SynthCorpus* corpus_;
+  static std::vector<Label>* labels_;
+};
+
+synth::SynthCorpus* RefinementsTest::corpus_ = nullptr;
+std::vector<Label>* RefinementsTest::labels_ = nullptr;
+
+TEST_F(RefinementsTest, PresetsDescribeThemselves) {
+  EXPECT_EQ(FusionOptions::Vote().ToString(), "VOTE prov=(Extractor, URL)");
+  EXPECT_NE(FusionOptions::PopAccuPlusUnsup().ToString().find("+FilterByCov"),
+            std::string::npos);
+  EXPECT_NE(FusionOptions::PopAccuPlus().ToString().find("+InitAccuByGS"),
+            std::string::npos);
+}
+
+TEST_F(RefinementsTest, SiteGranularityPoolsProvenances) {
+  FusionOptions url_opts = FusionOptions::PopAccu();
+  FusionEngine url_engine(corpus_->dataset, url_opts);
+  FusionOptions site_opts = FusionOptions::PopAccu();
+  site_opts.granularity = extract::Granularity::ExtractorSite();
+  FusionEngine site_engine(corpus_->dataset, site_opts);
+  EXPECT_LT(site_engine.num_provenances(), url_engine.num_provenances());
+}
+
+TEST_F(RefinementsTest, CoverageFilterReducesCoverage) {
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.filter_by_coverage = true;
+  auto filtered = Fuse(corpus_->dataset, opts);
+  auto unfiltered = Fuse(corpus_->dataset, FusionOptions::PopAccu());
+  EXPECT_LT(filtered.Coverage(), unfiltered.Coverage());
+  EXPECT_GT(filtered.Coverage(), 0.5);
+}
+
+TEST_F(RefinementsTest, ThetaFallbackKeepsCoverage) {
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.min_provenance_accuracy = 0.3;
+  auto result = Fuse(corpus_->dataset, opts);
+  EXPECT_EQ(result.Coverage(), 1.0);
+  size_t fallbacks = 0;
+  for (auto f : result.from_fallback) fallbacks += f;
+  EXPECT_GT(fallbacks, 0u);
+}
+
+TEST_F(RefinementsTest, GoldInitImprovesAucAndCalibration) {
+  auto base = Fuse(corpus_->dataset, FusionOptions::PopAccu(), labels_);
+  FusionOptions gs_opts = FusionOptions::PopAccu();
+  gs_opts.init_accuracy_from_gold = true;
+  auto gs = Fuse(corpus_->dataset, gs_opts, labels_);
+
+  double base_auc = eval::AucPr(base.probability, base.has_probability,
+                                *labels_);
+  double gs_auc = eval::AucPr(gs.probability, gs.has_probability, *labels_);
+  EXPECT_GT(gs_auc, base_auc);
+
+  double base_wdev =
+      eval::ComputeCalibration(base.probability, base.has_probability,
+                               *labels_).weighted_deviation;
+  double gs_wdev =
+      eval::ComputeCalibration(gs.probability, gs.has_probability, *labels_)
+          .weighted_deviation;
+  EXPECT_LT(gs_wdev, base_wdev);
+}
+
+TEST_F(RefinementsTest, GoldSampleRateScalesBenefit) {
+  auto auc_at = [&](double rate) {
+    FusionOptions opts = FusionOptions::PopAccu();
+    opts.init_accuracy_from_gold = true;
+    opts.gold_sample_rate = rate;
+    auto r = Fuse(corpus_->dataset, opts, labels_);
+    return eval::AucPr(r.probability, r.has_probability, *labels_);
+  };
+  double full = auc_at(1.0);
+  double tiny = auc_at(0.05);
+  EXPECT_GT(full, tiny - 0.02);  // more gold never clearly hurts
+}
+
+TEST_F(RefinementsTest, PlusBeatsBaseOnBothMetrics) {
+  auto base = Fuse(corpus_->dataset, FusionOptions::PopAccu(), labels_);
+  auto plus = Fuse(corpus_->dataset, FusionOptions::PopAccuPlus(), labels_);
+  double base_auc = eval::AucPr(base.probability, base.has_probability,
+                                *labels_);
+  double plus_auc = eval::AucPr(plus.probability, plus.has_probability,
+                                *labels_);
+  EXPECT_GT(plus_auc, base_auc);
+  double base_wdev =
+      eval::ComputeCalibration(base.probability, base.has_probability,
+                               *labels_).weighted_deviation;
+  double plus_wdev =
+      eval::ComputeCalibration(plus.probability, plus.has_probability,
+                               *labels_).weighted_deviation;
+  EXPECT_LT(plus_wdev, base_wdev);
+}
+
+TEST_F(RefinementsTest, UnsupStackNeedsNoLabels) {
+  // The unsupervised stack must run without a gold standard.
+  auto result = Fuse(corpus_->dataset, FusionOptions::PopAccuPlusUnsup());
+  EXPECT_GT(result.Coverage(), 0.5);
+}
+
+// Theta sweep property: coverage stays full (fallback) and probabilities
+// stay valid for any threshold.
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, ValidOutput) {
+  static const synth::SynthCorpus& corpus = *new synth::SynthCorpus(
+      synth::GenerateCorpus(synth::SynthConfig::Small()));
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.min_provenance_accuracy = GetParam();
+  auto result = Fuse(corpus.dataset, opts);
+  EXPECT_EQ(result.Coverage(), 1.0);
+  for (kb::TripleId t = 0; t < corpus.dataset.num_triples(); ++t) {
+    ASSERT_GE(result.probability[t], 0.0);
+    ASSERT_LE(result.probability[t], 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.7, 0.95));
+
+}  // namespace
+}  // namespace kf::fusion

@@ -1,0 +1,190 @@
+#include "fusion/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+#include <map>
+
+namespace kf::fusion {
+namespace {
+
+std::map<kb::TripleId, double> Score(const Scorer& scorer,
+                                     const ItemClaims& claims) {
+  TripleProbs out;
+  scorer.Score(claims, &out);
+  std::map<kb::TripleId, double> result;
+  for (const auto& [t, p] : out) result[t] = p;
+  return result;
+}
+
+ItemClaims Claims(std::vector<kb::TripleId> triples,
+                  std::vector<double> accuracies) {
+  ItemClaims c;
+  c.triple = std::move(triples);
+  c.accuracy = std::move(accuracies);
+  return c;
+}
+
+// ---- VOTE ----
+
+TEST(VoteTest, ProbabilityIsSupportFraction) {
+  VoteScorer vote;
+  auto probs = Score(vote, Claims({1, 1, 1, 2}, {.8, .8, .8, .8}));
+  EXPECT_DOUBLE_EQ(probs[1], 0.75);
+  EXPECT_DOUBLE_EQ(probs[2], 0.25);
+}
+
+TEST(VoteTest, SingletonGetsOne) {
+  VoteScorer vote;
+  auto probs = Score(vote, Claims({5}, {.8}));
+  EXPECT_DOUBLE_EQ(probs[5], 1.0);  // the paper's VOTE pathology
+}
+
+TEST(VoteTest, IgnoresAccuracies) {
+  VoteScorer vote;
+  auto a = Score(vote, Claims({1, 2}, {.9, .1}));
+  EXPECT_DOUBLE_EQ(a[1], 0.5);
+  EXPECT_DOUBLE_EQ(a[2], 0.5);
+}
+
+// ---- ACCU ----
+
+TEST(AccuTest, AgreementBeatsLoneVoice) {
+  AccuScorer accu(100);
+  auto probs = Score(accu, Claims({1, 1, 2}, {.8, .8, .8}));
+  EXPECT_GT(probs[1], probs[2]);
+  EXPECT_GT(probs[1], 0.8);
+}
+
+TEST(AccuTest, ProbabilitiesSumBelowOne) {
+  // The remaining mass goes to the N unobserved false values.
+  AccuScorer accu(100);
+  auto probs = Score(accu, Claims({1, 2}, {.6, .6}));
+  double sum = probs[1] + probs[2];
+  EXPECT_LT(sum, 1.0);
+  EXPECT_GT(sum, 0.5);
+}
+
+TEST(AccuTest, HigherAccuracySourceWins) {
+  AccuScorer accu(100);
+  auto probs = Score(accu, Claims({1, 2}, {.95, .55}));
+  EXPECT_GT(probs[1], probs[2]);
+}
+
+TEST(AccuTest, SingletonWithDefaultAccuracy) {
+  // One claim at accuracy 0.8 with N=100: vote weight 100*.8/.2 = 400;
+  // P = 400 / (400 + 100) = 0.8.
+  AccuScorer accu(100);
+  auto probs = Score(accu, Claims({1}, {.8}));
+  EXPECT_NEAR(probs[1], 0.8, 1e-9);
+}
+
+TEST(AccuTest, ManyAgreeingSourcesSaturate) {
+  AccuScorer accu(100);
+  auto probs = Score(
+      accu, Claims({1, 1, 1, 1, 1, 1}, {.8, .8, .8, .8, .8, .8}));
+  EXPECT_GT(probs[1], 0.999);
+}
+
+// ---- POPACCU ----
+
+TEST(PopAccuTest, SingletonReproducesDefaultAccuracy) {
+  // The Fig. 9 valley at 0.8: a lone provenance with default accuracy 0.8
+  // yields p = 0.8 exactly.
+  PopAccuScorer pop;
+  auto probs = Score(pop, Claims({1}, {.8}));
+  EXPECT_NEAR(probs[1], 0.8, 1e-9);
+}
+
+TEST(PopAccuTest, TwoConflictingSingletonsNearHalf) {
+  // The Fig. 9 valley at ~0.5.
+  PopAccuScorer pop;
+  auto probs = Score(pop, Claims({1, 2}, {.8, .8}));
+  EXPECT_NEAR(probs[1], probs[2], 1e-12);
+  EXPECT_NEAR(probs[1], 0.485, 0.02);
+}
+
+TEST(PopAccuTest, PopularFalseValueDiscounted) {
+  // 5 sources say A, 5 say B; but the A-sayers are accurate while the
+  // B-sayers are poor: A must win decisively.
+  PopAccuScorer pop;
+  auto probs = Score(pop, Claims({1, 1, 1, 1, 1, 2, 2, 2, 2, 2},
+                                 {.9, .9, .9, .9, .9, .3, .3, .3, .3, .3}));
+  EXPECT_GT(probs[1], 0.95);
+  EXPECT_LT(probs[2], 0.05);
+}
+
+TEST(PopAccuTest, AgreementIncreasesConfidence) {
+  PopAccuScorer pop;
+  auto one = Score(pop, Claims({1}, {.8}));
+  auto two = Score(pop, Claims({1, 1}, {.8, .8}));
+  auto three = Score(pop, Claims({1, 1, 1}, {.8, .8, .8}));
+  EXPECT_GT(two[1], one[1]);
+  EXPECT_GT(three[1], two[1]);
+}
+
+TEST(PopAccuTest, ProbabilitiesWithinUnitInterval) {
+  PopAccuScorer pop;
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.NextBelow(20);
+    ItemClaims claims;
+    for (size_t i = 0; i < n; ++i) {
+      claims.triple.push_back(static_cast<kb::TripleId>(rng.NextBelow(5)));
+      claims.accuracy.push_back(rng.Uniform(0.01, 0.99));
+    }
+    TripleProbs out;
+    pop.Score(claims, &out);
+    double sum = 0.0;
+    for (const auto& [t, p] : out) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);  // single-truth assumption
+  }
+}
+
+// Property sweep: all three scorers must be monotone in support.
+class ScorerMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ScorerMonotonicity, MoreSupportNeverLowersProbability) {
+  auto [scorer_id, accuracy] = GetParam();
+  std::unique_ptr<Scorer> scorer;
+  switch (scorer_id) {
+    case 0: scorer = std::make_unique<VoteScorer>(); break;
+    case 1: scorer = std::make_unique<AccuScorer>(100); break;
+    default: scorer = std::make_unique<PopAccuScorer>(); break;
+  }
+  // Fixed rival with 2 claims; grow support for triple 1.
+  double prev = -1.0;
+  for (int m = 1; m <= 8; ++m) {
+    ItemClaims claims;
+    for (int i = 0; i < m; ++i) {
+      claims.triple.push_back(1);
+      claims.accuracy.push_back(accuracy);
+    }
+    claims.triple.push_back(2);
+    claims.accuracy.push_back(accuracy);
+    claims.triple.push_back(2);
+    claims.accuracy.push_back(accuracy);
+    TripleProbs out;
+    scorer->Score(claims, &out);
+    double p1 = 0;
+    for (const auto& [t, p] : out) {
+      if (t == 1) p1 = p;
+    }
+    EXPECT_GE(p1, prev - 1e-9) << "support " << m;
+    prev = p1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScorerMonotonicity,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.6, 0.8, 0.95)));
+
+}  // namespace
+}  // namespace kf::fusion

@@ -1,0 +1,139 @@
+// End-to-end pipeline tests: corpus generation -> gold standard -> fusion
+// -> evaluation. These assert the qualitative shapes the paper reports
+// (Section 3 statistics and the Section 4 model ordering), with loose
+// bounds so the test is robust to corpus-parameter tuning.
+#include <gtest/gtest.h>
+
+#include "eval/calibration.h"
+#include "eval/gold_standard.h"
+#include "eval/pr_curve.h"
+#include "eval/report.h"
+#include "extract/corpus_stats.h"
+#include "fusion/engine.h"
+#include "synth/corpus.h"
+
+namespace kf {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::SynthConfig config;
+    config.seed = 42;
+    corpus_ = new synth::SynthCorpus(synth::GenerateCorpus(config));
+    labels_ = new std::vector<Label>(
+        eval::BuildGoldStandard(corpus_->dataset, corpus_->freebase));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete labels_;
+    corpus_ = nullptr;
+    labels_ = nullptr;
+  }
+
+  static synth::SynthCorpus* corpus_;
+  static std::vector<Label>* labels_;
+};
+
+synth::SynthCorpus* IntegrationTest::corpus_ = nullptr;
+std::vector<Label>* IntegrationTest::labels_ = nullptr;
+
+TEST_F(IntegrationTest, CorpusHasPaperLikeShape) {
+  const auto& dataset = corpus_->dataset;
+  EXPECT_GT(dataset.num_records(), 100000u);
+  EXPECT_GT(dataset.num_triples(), 30000u);
+  EXPECT_EQ(dataset.num_extractors(), 12u);
+
+  eval::GoldStats gold = eval::SummarizeGold(*labels_);
+  // Paper: ~40% of triples labeled, ~30% of labeled true.
+  EXPECT_GT(gold.labeled_fraction, 0.15);
+  EXPECT_LT(gold.labeled_fraction, 0.75);
+  EXPECT_GT(gold.accuracy, 0.1);
+  EXPECT_LT(gold.accuracy, 0.55);
+}
+
+TEST_F(IntegrationTest, ExtractorAccuraciesSpread) {
+  auto stats = extract::ComputeExtractorStats(corpus_->dataset, *labels_);
+  ASSERT_EQ(stats.size(), 12u);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& s : stats) {
+    EXPECT_GT(s.num_records, 0u);
+    lo = std::min(lo, s.accuracy);
+    hi = std::max(hi, s.accuracy);
+  }
+  // Table 2: accuracies range roughly 0.09 - 0.78.
+  EXPECT_LT(lo, 0.25);
+  EXPECT_GT(hi, 0.55);
+}
+
+TEST_F(IntegrationTest, SupportCorrelatesWithAccuracy) {
+  // Figures 6/7: more extractors / more URLs -> higher accuracy.
+  auto by_ext = extract::AccuracyBySupport(
+      corpus_->dataset, *labels_, extract::SupportKind::kExtractors, 1, 12);
+  ASSERT_GE(by_ext.size(), 3u);
+  // Compare the first bin against the best multi-extractor bin.
+  double first = by_ext.front().accuracy;
+  double best = 0.0;
+  for (size_t i = 1; i < by_ext.size(); ++i) {
+    best = std::max(best, by_ext[i].accuracy);
+  }
+  EXPECT_GT(best, first);
+}
+
+TEST_F(IntegrationTest, ModelOrderingMatchesPaper) {
+  auto run = [&](fusion::FusionOptions opts) {
+    return eval::EvaluateModel(opts.ToString(),
+                               fusion::Fuse(corpus_->dataset, opts, labels_),
+                               *labels_);
+  };
+  auto vote = run(fusion::FusionOptions::Vote());
+  auto accu = run(fusion::FusionOptions::Accu());
+  auto popaccu = run(fusion::FusionOptions::PopAccu());
+  auto plus = run(fusion::FusionOptions::PopAccuPlus());
+
+  // Fig. 9: POPACCU calibrates best, VOTE worst; ACCU has the best PR
+  // among the three bases.
+  EXPECT_LT(popaccu.weighted_deviation, vote.weighted_deviation);
+  EXPECT_LT(accu.weighted_deviation, vote.weighted_deviation);
+  // Fig. 13: the full refinement stack improves both calibration and PR.
+  EXPECT_LT(plus.weighted_deviation, popaccu.weighted_deviation);
+  EXPECT_GT(plus.auc_pr, popaccu.auc_pr);
+  // All AUCs are meaningful (>> random).
+  EXPECT_GT(vote.auc_pr, 0.3);
+  EXPECT_GT(plus.auc_pr, 0.45);
+}
+
+TEST_F(IntegrationTest, PopAccuPlusIsReasonablyCalibrated) {
+  auto result =
+      fusion::Fuse(corpus_->dataset, fusion::FusionOptions::PopAccuPlus(),
+                   labels_);
+  // Spot checks in the spirit of the abstract: high predictions are mostly
+  // right, low predictions mostly wrong.
+  double high = eval::RealAccuracyInRange(result.probability,
+                                          result.has_probability, *labels_,
+                                          0.9, 1.01);
+  double low = eval::RealAccuracyInRange(result.probability,
+                                         result.has_probability, *labels_,
+                                         0.0, 0.1);
+  EXPECT_GT(high, 0.6);
+  EXPECT_LT(low, 0.35);
+  EXPECT_GT(high, low + 0.3);
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossRuns) {
+  fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
+  opts.num_workers = 4;
+  auto a = fusion::Fuse(corpus_->dataset, opts);
+  opts.num_workers = 13;
+  auto b = fusion::Fuse(corpus_->dataset, opts);
+  ASSERT_EQ(a.probability.size(), b.probability.size());
+  for (size_t i = 0; i < a.probability.size(); ++i) {
+    ASSERT_EQ(a.has_probability[i], b.has_probability[i]);
+    if (a.has_probability[i]) {
+      ASSERT_DOUBLE_EQ(a.probability[i], b.probability[i]) << "triple " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,72 @@
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::kb {
+namespace {
+
+TEST(KnowledgeBaseTest, AddAndContains) {
+  KnowledgeBase kb;
+  DataItem item{1, 2};
+  EXPECT_TRUE(kb.AddTriple(item, 10));
+  EXPECT_TRUE(kb.Contains(item, 10));
+  EXPECT_FALSE(kb.Contains(item, 11));
+  EXPECT_FALSE(kb.Contains(DataItem{2, 2}, 10));
+}
+
+TEST(KnowledgeBaseTest, DuplicateAddIsRejected) {
+  KnowledgeBase kb;
+  DataItem item{1, 2};
+  EXPECT_TRUE(kb.AddTriple(item, 10));
+  EXPECT_FALSE(kb.AddTriple(item, 10));
+  EXPECT_EQ(kb.num_triples(), 1u);
+}
+
+TEST(KnowledgeBaseTest, MultiValuedItems) {
+  KnowledgeBase kb;
+  DataItem item{1, 2};
+  kb.AddTriple(item, 10);
+  kb.AddTriple(item, 11);
+  EXPECT_EQ(kb.Values(item).size(), 2u);
+  EXPECT_EQ(kb.num_items(), 1u);
+  EXPECT_EQ(kb.num_triples(), 2u);
+}
+
+TEST(KnowledgeBaseTest, HasItemDistinctFromContains) {
+  KnowledgeBase kb;
+  DataItem item{3, 4};
+  EXPECT_FALSE(kb.HasItem(item));
+  kb.AddTriple(item, 5);
+  EXPECT_TRUE(kb.HasItem(item));
+  EXPECT_FALSE(kb.Contains(item, 6));  // item known, value not
+}
+
+TEST(KnowledgeBaseTest, ValuesOfUnknownItemEmpty) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.Values(DataItem{9, 9}).empty());
+}
+
+TEST(KnowledgeBaseTest, ForEachItemVisitsAll) {
+  KnowledgeBase kb;
+  kb.AddTriple(DataItem{1, 1}, 1);
+  kb.AddTriple(DataItem{1, 2}, 2);
+  kb.AddTriple(DataItem{1, 2}, 3);
+  size_t items = 0, triples = 0;
+  kb.ForEachItem([&](const DataItem&, const std::vector<ValueId>& values) {
+    ++items;
+    triples += values.size();
+  });
+  EXPECT_EQ(items, 2u);
+  EXPECT_EQ(triples, 3u);
+}
+
+TEST(KnowledgeBaseTest, MoveTransfersContents) {
+  KnowledgeBase kb;
+  kb.AddTriple(DataItem{1, 1}, 1);
+  KnowledgeBase moved = std::move(kb);
+  EXPECT_TRUE(moved.Contains(DataItem{1, 1}, 1));
+  EXPECT_EQ(moved.num_triples(), 1u);
+}
+
+}  // namespace
+}  // namespace kf::kb

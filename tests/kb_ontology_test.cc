@@ -1,0 +1,70 @@
+#include "kb/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::kb {
+namespace {
+
+Ontology MakeOntology() {
+  Ontology o;
+  o.AddType({"people", "person"});
+  o.AddType({"film", "film"});
+  PredicateInfo birth;
+  birth.name = "birth_date";
+  birth.subject_type = 0;
+  birth.functional = true;
+  o.AddPredicate(birth);
+  PredicateInfo children;
+  children.name = "children";
+  children.subject_type = 0;
+  children.functional = false;
+  children.mean_truths = 2.5;
+  o.AddPredicate(children);
+  PredicateInfo actor;
+  actor.name = "actor";
+  actor.subject_type = 1;
+  actor.functional = false;
+  actor.mean_truths = 3.0;
+  o.AddPredicate(actor);
+  return o;
+}
+
+TEST(OntologyTest, TypeFullName) {
+  Ontology o = MakeOntology();
+  EXPECT_EQ(o.type(0).FullName(), "people/person");
+  EXPECT_EQ(o.num_types(), 2u);
+}
+
+TEST(OntologyTest, PredicateMetadata) {
+  Ontology o = MakeOntology();
+  EXPECT_EQ(o.num_predicates(), 3u);
+  EXPECT_TRUE(o.predicate(0).functional);
+  EXPECT_FALSE(o.predicate(1).functional);
+  EXPECT_DOUBLE_EQ(o.predicate(1).mean_truths, 2.5);
+}
+
+TEST(OntologyTest, PredicatesOfType) {
+  Ontology o = MakeOntology();
+  EXPECT_EQ(o.PredicatesOfType(0), (std::vector<PredicateId>{0, 1}));
+  EXPECT_EQ(o.PredicatesOfType(1), (std::vector<PredicateId>{2}));
+}
+
+TEST(OntologyDeathTest, RejectsUnknownSubjectType) {
+  Ontology o = MakeOntology();
+  PredicateInfo bad;
+  bad.name = "bad";
+  bad.subject_type = 99;
+  EXPECT_DEATH(o.AddPredicate(bad), "KF_CHECK");
+}
+
+TEST(OntologyDeathTest, RejectsMeanTruthsBelowOne) {
+  Ontology o = MakeOntology();
+  PredicateInfo bad;
+  bad.name = "bad";
+  bad.subject_type = 0;
+  bad.mean_truths = 0.5;
+  EXPECT_DEATH(o.AddPredicate(bad), "KF_CHECK");
+}
+
+}  // namespace
+}  // namespace kf::kb

@@ -1,0 +1,63 @@
+#include "kb/value_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::kb {
+namespace {
+
+// sf < ca < usa ; nyc < ny < usa
+ValueHierarchy MakeGeo() {
+  ValueHierarchy h;
+  h.SetParent(/*sf=*/1, /*ca=*/2);
+  h.SetParent(/*ca=*/2, /*usa=*/3);
+  h.SetParent(/*nyc=*/4, /*ny=*/5);
+  h.SetParent(/*ny=*/5, /*usa=*/3);
+  return h;
+}
+
+TEST(ValueHierarchyTest, ParentOf) {
+  ValueHierarchy h = MakeGeo();
+  EXPECT_EQ(h.ParentOf(1), 2u);
+  EXPECT_EQ(h.ParentOf(3), kInvalidId);
+  EXPECT_EQ(h.ParentOf(99), kInvalidId);
+}
+
+TEST(ValueHierarchyTest, AncestorsNearestFirst) {
+  ValueHierarchy h = MakeGeo();
+  EXPECT_EQ(h.AncestorsOf(1), (std::vector<ValueId>{2, 3}));
+  EXPECT_TRUE(h.AncestorsOf(3).empty());
+}
+
+TEST(ValueHierarchyTest, IsAncestorOfIsStrict) {
+  ValueHierarchy h = MakeGeo();
+  EXPECT_TRUE(h.IsAncestorOf(3, 1));   // usa contains sf
+  EXPECT_TRUE(h.IsAncestorOf(2, 1));   // ca contains sf
+  EXPECT_FALSE(h.IsAncestorOf(1, 1));  // strict
+  EXPECT_FALSE(h.IsAncestorOf(1, 3));  // wrong direction
+  EXPECT_FALSE(h.IsAncestorOf(2, 4));  // ca does not contain nyc
+}
+
+TEST(ValueHierarchyTest, CompatibleIncludesSelfAndBothDirections) {
+  ValueHierarchy h = MakeGeo();
+  EXPECT_TRUE(h.Compatible(1, 1));
+  EXPECT_TRUE(h.Compatible(1, 3));
+  EXPECT_TRUE(h.Compatible(3, 1));
+  EXPECT_FALSE(h.Compatible(1, 4));  // sf vs nyc
+  EXPECT_FALSE(h.Compatible(2, 5));  // ca vs ny
+}
+
+TEST(ValueHierarchyTest, Depth) {
+  ValueHierarchy h = MakeGeo();
+  EXPECT_EQ(h.Depth(3), 0);
+  EXPECT_EQ(h.Depth(2), 1);
+  EXPECT_EQ(h.Depth(1), 2);
+  EXPECT_EQ(h.Depth(77), 0);  // unknown values are roots
+}
+
+TEST(ValueHierarchyDeathTest, SelfParentRejected) {
+  ValueHierarchy h;
+  EXPECT_DEATH(h.SetParent(1, 1), "KF_CHECK");
+}
+
+}  // namespace
+}  // namespace kf::kb

@@ -1,0 +1,70 @@
+#include "kb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::kb {
+namespace {
+
+TEST(ValueTest, EqualityByKindAndPayload) {
+  EXPECT_EQ(Value::OfEntity(1), Value::OfEntity(1));
+  EXPECT_FALSE(Value::OfEntity(1) == Value::OfEntity(2));
+  EXPECT_FALSE(Value::OfEntity(1) == Value::OfString(1));
+  EXPECT_EQ(Value::OfNumber(3.5), Value::OfNumber(3.5));
+  EXPECT_FALSE(Value::OfNumber(3.5) == Value::OfNumber(3.50001));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash hash;
+  EXPECT_EQ(hash(Value::OfEntity(7)), hash(Value::OfEntity(7)));
+  EXPECT_NE(hash(Value::OfEntity(7)), hash(Value::OfString(7)));
+  EXPECT_NE(hash(Value::OfNumber(1.0)), hash(Value::OfNumber(2.0)));
+}
+
+TEST(ValueTableTest, InternDedupes) {
+  ValueTable table;
+  ValueId a = table.Intern(Value::OfEntity(1));
+  ValueId b = table.Intern(Value::OfString(1));
+  ValueId c = table.Intern(Value::OfEntity(1));
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ValueTableTest, GetRoundTrips) {
+  ValueTable table;
+  ValueId id = table.Intern(Value::OfNumber(42.0));
+  EXPECT_EQ(table.Get(id).kind, ValueKind::kNumber);
+  EXPECT_EQ(table.Get(id).number, 42.0);
+}
+
+TEST(ValueTableTest, FindWithoutIntern) {
+  ValueTable table;
+  EXPECT_EQ(table.Find(Value::OfEntity(9)), kInvalidId);
+  ValueId id = table.Intern(Value::OfEntity(9));
+  EXPECT_EQ(table.Find(Value::OfEntity(9)), id);
+}
+
+TEST(ValueTableTest, CountOfKind) {
+  ValueTable table;
+  table.Intern(Value::OfEntity(1));
+  table.Intern(Value::OfEntity(2));
+  table.Intern(Value::OfString(1));
+  table.Intern(Value::OfNumber(1.0));
+  EXPECT_EQ(table.CountOfKind(ValueKind::kEntity), 2u);
+  EXPECT_EQ(table.CountOfKind(ValueKind::kString), 1u);
+  EXPECT_EQ(table.CountOfKind(ValueKind::kNumber), 1u);
+}
+
+TEST(IdsTest, DataItemAndTripleHashes) {
+  DataItem a{1, 2}, b{1, 2}, c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(DataItemHash()(a), DataItemHash()(b));
+  Triple t1{a, 5}, t2{b, 5}, t3{a, 6};
+  EXPECT_EQ(t1, t2);
+  EXPECT_FALSE(t1 == t3);
+  EXPECT_EQ(TripleHash()(t1), TripleHash()(t2));
+}
+
+}  // namespace
+}  // namespace kf::kb

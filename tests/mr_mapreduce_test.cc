@@ -1,0 +1,119 @@
+#include "mr/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+#include <map>
+#include <numeric>
+
+namespace kf::mr {
+namespace {
+
+using Histogram = Job<int, int, int, std::pair<int, int>>;
+
+std::map<int, int> RunHistogram(const std::vector<int>& inputs,
+                                size_t workers, size_t partitions = 64) {
+  Options opts;
+  opts.num_workers = workers;
+  opts.num_partitions = partitions;
+  auto out = Histogram::Run(
+      inputs,
+      [](const int& x, const Histogram::Emit& emit) { emit(x % 10, 1); },
+      [](const int& key, std::vector<int>& values,
+         const Histogram::EmitOut& emit) {
+        int sum = 0;
+        for (int v : values) sum += v;
+        emit({key, sum});
+      },
+      opts);
+  std::map<int, int> result;
+  for (auto& [k, v] : out) result[k] = v;
+  return result;
+}
+
+TEST(MapReduceTest, CountsByKey) {
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto hist = RunHistogram(inputs, 4);
+  ASSERT_EQ(hist.size(), 10u);
+  for (auto& [k, v] : hist) EXPECT_EQ(v, 10);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  auto hist = RunHistogram({}, 4);
+  EXPECT_TRUE(hist.empty());
+}
+
+TEST(MapReduceTest, SingleElement) {
+  auto hist = RunHistogram({7}, 4);
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[7], 1);
+}
+
+TEST(MapReduceTest, MapCanEmitZeroOrMany) {
+  using J = Job<int, int, int, int>;
+  std::vector<int> inputs = {1, 2, 3, 4};
+  auto out = J::Run(
+      inputs,
+      [](const int& x, const J::Emit& emit) {
+        // Odd inputs emit twice, even inputs not at all.
+        if (x % 2 == 1) {
+          emit(0, x);
+          emit(0, x);
+        }
+      },
+      [](const int&, std::vector<int>& values, const J::EmitOut& emit) {
+        int sum = 0;
+        for (int v : values) sum += v;
+        emit(sum);
+      });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2 * (1 + 3));
+}
+
+TEST(MapReduceTest, ReducerSeesValuesInInputOrder) {
+  using J = Job<int, int, int, std::vector<int>>;
+  std::vector<int> inputs(20000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto out = J::Run(
+      inputs,
+      [](const int& x, const J::Emit& emit) { emit(0, x); },
+      [](const int&, std::vector<int>& values,
+         const J::EmitOut& emit) { emit(values); },
+      Options{.num_workers = 8, .num_partitions = 4});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(out[0].begin(), out[0].end()));
+  EXPECT_EQ(out[0].size(), inputs.size());
+}
+
+class WorkerSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkerSweep, OutputIdenticalAcrossWorkerCounts) {
+  std::vector<int> inputs(50000);
+  Rng rng(5);
+  for (auto& x : inputs) x = static_cast<int>(rng.NextBelow(1000));
+  auto base = RunHistogram(inputs, 1);
+  auto other = RunHistogram(inputs, GetParam());
+  EXPECT_EQ(base, other);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         ::testing::Values(2, 4, 8, 24));
+
+TEST(MapReduceTest, PartitionCountChangesOrderNotContent) {
+  std::vector<int> inputs(1000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto a = RunHistogram(inputs, 4, 16);
+  auto b = RunHistogram(inputs, 4, 128);
+  EXPECT_EQ(a, b);  // as maps (sorted) they agree
+}
+
+TEST(SuggestPartitionsTest, Clamped) {
+  EXPECT_EQ(SuggestPartitions(0), 16u);
+  EXPECT_EQ(SuggestPartitions(100000), 24u);
+  EXPECT_EQ(SuggestPartitions(100000000), 1024u);
+}
+
+}  // namespace
+}  // namespace kf::mr

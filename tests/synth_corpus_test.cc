@@ -1,0 +1,79 @@
+#include "synth/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/gold_standard.h"
+
+namespace kf::synth {
+namespace {
+
+TEST(CorpusTest, GeneratesConsistentBundle) {
+  SynthCorpus corpus = GenerateCorpus(SynthConfig::Small());
+  EXPECT_GT(corpus.dataset.num_records(), 0u);
+  EXPECT_GT(corpus.freebase.num_triples(), 0u);
+  EXPECT_EQ(corpus.dataset.num_extractors(), 12u);
+  // Truth flags in the dataset agree with the world.
+  for (kb::TripleId t = 0; t < corpus.dataset.num_triples(); ++t) {
+    const auto& info = corpus.dataset.triple(t);
+    const kb::DataItem& item = corpus.dataset.item(info.item);
+    EXPECT_EQ(info.true_in_world,
+              corpus.world.truth.Contains(item, info.object));
+  }
+}
+
+TEST(CorpusTest, SeedChangesCorpus) {
+  SynthConfig a = SynthConfig::Small();
+  SynthConfig b = SynthConfig::Small();
+  b.seed = a.seed + 1;
+  SynthCorpus ca = GenerateCorpus(a);
+  SynthCorpus cb = GenerateCorpus(b);
+  EXPECT_NE(ca.dataset.num_records(), cb.dataset.num_records());
+}
+
+TEST(CorpusTest, ScaledConfigGrowsCorpus) {
+  SynthConfig small = SynthConfig::Small();
+  SynthConfig big = small.Scaled(2.0);
+  EXPECT_GT(big.num_entities, small.num_entities);
+  EXPECT_GT(big.num_sites, small.num_sites);
+}
+
+TEST(CorpusTest, CustomExtractorList) {
+  auto specs = Default12Extractors();
+  specs.resize(3);  // TXT1-TXT3 only
+  SynthCorpus corpus = GenerateCorpus(SynthConfig::Small(), specs);
+  EXPECT_EQ(corpus.dataset.num_extractors(), 3u);
+  for (const auto& r : corpus.dataset.records()) {
+    EXPECT_LT(r.prov.extractor, 3u);
+  }
+}
+
+TEST(CorpusTest, GoldStandardShapes) {
+  SynthCorpus corpus = GenerateCorpus(SynthConfig::Small());
+  auto labels = eval::BuildGoldStandard(corpus.dataset, corpus.freebase);
+  auto stats = eval::SummarizeGold(labels);
+  // Paper: ~40% labeled, ~30% accuracy; allow wide bands at small scale.
+  EXPECT_GT(stats.labeled_fraction, 0.1);
+  EXPECT_LT(stats.labeled_fraction, 0.7);
+  EXPECT_GT(stats.accuracy, 0.1);
+  EXPECT_LT(stats.accuracy, 0.6);
+}
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, EverySeedProducesHealthyCorpus) {
+  SynthConfig config = SynthConfig::Small();
+  config.seed = GetParam();
+  SynthCorpus corpus = GenerateCorpus(config);
+  auto labels = eval::BuildGoldStandard(corpus.dataset, corpus.freebase);
+  auto stats = eval::SummarizeGold(labels);
+  EXPECT_GT(corpus.dataset.num_records(), 1000u);
+  EXPECT_GT(stats.num_labeled, 100u);
+  EXPECT_GT(stats.num_true, 10u);
+  EXPECT_GT(stats.num_false, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace kf::synth

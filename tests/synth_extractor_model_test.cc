@@ -1,0 +1,153 @@
+#include "synth/extractor_model.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace kf::synth {
+namespace {
+
+struct Fixture {
+  SynthConfig config;
+  World world;
+  SourceCorpus sources;
+  extract::ExtractionDataset dataset;
+
+  Fixture() {
+    config = SynthConfig::Small();
+    config.seed = 21;
+    world = BuildWorld(config);
+    sources = BuildSourceCorpus(world, config);
+    dataset = RunExtractors(&world, sources, Default12Extractors(), config);
+  }
+};
+
+TEST(ExtractorSpecsTest, TwelveExtractorsMatchingTable2Layout) {
+  auto specs = Default12Extractors();
+  ASSERT_EQ(specs.size(), 12u);
+  int txt = 0, dom = 0, tbl = 0, ano = 0;
+  for (const auto& s : specs) {
+    switch (s.content) {
+      case extract::ContentType::kTxt: ++txt; break;
+      case extract::ContentType::kDom: ++dom; break;
+      case extract::ContentType::kTbl: ++tbl; break;
+      case extract::ContentType::kAno: ++ano; break;
+    }
+  }
+  EXPECT_EQ(txt, 4);  // TXT1-4
+  EXPECT_EQ(dom, 5);  // DOM1-5
+  EXPECT_EQ(tbl, 2);  // TBL1-2
+  EXPECT_EQ(ano, 1);  // ANO
+  // Two extractors provide no confidence (Table 2 "No conf."): DOM5, TBL2.
+  int no_conf = 0;
+  for (const auto& s : specs) {
+    if (s.conf == ConfidenceModel::kNone) ++no_conf;
+  }
+  EXPECT_EQ(no_conf, 2);
+}
+
+TEST(ExtractorModelTest, Deterministic) {
+  Fixture a, b;
+  ASSERT_EQ(a.dataset.num_records(), b.dataset.num_records());
+  for (size_t i = 0; i < std::min<size_t>(200, a.dataset.num_records());
+       ++i) {
+    EXPECT_EQ(a.dataset.records()[i].triple, b.dataset.records()[i].triple);
+    EXPECT_EQ(a.dataset.records()[i].confidence,
+              b.dataset.records()[i].confidence);
+  }
+}
+
+TEST(ExtractorModelTest, RecordsReferenceValidTriples) {
+  Fixture f;
+  for (const auto& r : f.dataset.records()) {
+    ASSERT_LT(r.triple, f.dataset.num_triples());
+    ASSERT_LT(r.prov.extractor, f.dataset.num_extractors());
+    ASSERT_LT(r.prov.url, f.dataset.num_urls());
+    EXPECT_EQ(r.prov.site, f.dataset.site_of_url(r.prov.url));
+  }
+}
+
+TEST(ExtractorModelTest, ErrorFlagsConsistentWithTruth) {
+  Fixture f;
+  for (const auto& r : f.dataset.records()) {
+    const auto& info = f.dataset.triple(r.triple);
+    if (r.error == extract::ErrorClass::kNone) {
+      // Faithful extraction of a true source claim: must be world-true.
+      EXPECT_TRUE(info.true_in_world);
+    }
+    if (r.error == extract::ErrorClass::kMoreGeneralValue) {
+      EXPECT_TRUE(info.hierarchy_true);
+    }
+  }
+}
+
+TEST(ExtractorModelTest, ConfidenceOnlyWhenModelHasOne) {
+  Fixture f;
+  for (const auto& r : f.dataset.records()) {
+    EXPECT_EQ(r.has_confidence,
+              f.dataset.extractors()[r.prov.extractor].has_confidence);
+    if (r.has_confidence) {
+      EXPECT_GE(r.confidence, 0.0f);
+      EXPECT_LE(r.confidence, 1.0f);
+    }
+  }
+}
+
+TEST(ExtractorModelTest, PatternsStayInExtractorRange) {
+  Fixture f;
+  auto specs = Default12Extractors();
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  uint32_t base = 0;
+  for (const auto& s : specs) {
+    uint32_t count =
+        s.num_patterns == 0 ? 1 : static_cast<uint32_t>(s.num_patterns);
+    ranges.emplace_back(base, base + count);
+    base += count;
+  }
+  for (const auto& r : f.dataset.records()) {
+    const auto& [lo, hi] = ranges[r.prov.extractor];
+    EXPECT_GE(r.prov.pattern, lo);
+    EXPECT_LT(r.prov.pattern, hi);
+  }
+}
+
+TEST(ExtractorModelTest, FrameworkGroupsShareCorruptions) {
+  // TXT2/TXT3/TXT4 share framework group 1: when two of them extract the
+  // same fact and both corrupt it, they should often produce the SAME
+  // wrong triple (Section 5.2's correlated extractors).
+  Fixture f;
+  // Map (url, extractor) -> set of triples.
+  std::unordered_map<uint64_t, std::unordered_set<kb::TripleId>> cells;
+  for (const auto& r : f.dataset.records()) {
+    uint64_t key = (static_cast<uint64_t>(r.prov.url) << 8) |
+                   r.prov.extractor;
+    cells[key].insert(r.triple);
+  }
+  // Count same-group overlap vs cross-group overlap among wrong triples.
+  // A weaker but robust check: the dataset contains at least one triple
+  // that is world-false and extracted by >= 2 extractors.
+  std::unordered_map<kb::TripleId, std::unordered_set<uint32_t>> by_triple;
+  for (const auto& r : f.dataset.records()) {
+    by_triple[r.triple].insert(r.prov.extractor);
+  }
+  size_t shared_false = 0;
+  for (const auto& [t, exts] : by_triple) {
+    if (exts.size() >= 2 && !f.dataset.triple(t).true_in_world) {
+      ++shared_false;
+    }
+  }
+  EXPECT_GT(shared_false, 10u);
+}
+
+TEST(ExtractorModelTest, SiteSubsetsRespected) {
+  // TXT4 (subset 0.08) must touch far fewer sites than TXT1 (subset 1.0).
+  Fixture f;
+  std::vector<std::unordered_set<uint32_t>> sites(12);
+  for (const auto& r : f.dataset.records()) {
+    sites[r.prov.extractor].insert(r.prov.site);
+  }
+  EXPECT_LT(sites[3].size(), sites[0].size() / 2);  // TXT4 << TXT1
+}
+
+}  // namespace
+}  // namespace kf::synth

@@ -1,0 +1,112 @@
+#include "synth/source_model.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::synth {
+namespace {
+
+struct Fixture {
+  SynthConfig config;
+  World world;
+  SourceCorpus corpus;
+
+  Fixture() {
+    config = SynthConfig::Small();
+    config.seed = 7;
+    world = BuildWorld(config);
+    corpus = BuildSourceCorpus(world, config);
+  }
+};
+
+TEST(SourceModelTest, Deterministic) {
+  Fixture a, b;
+  ASSERT_EQ(a.corpus.pages.size(), b.corpus.pages.size());
+  for (size_t i = 0; i < std::min<size_t>(50, a.corpus.pages.size()); ++i) {
+    ASSERT_EQ(a.corpus.pages[i].facts.size(), b.corpus.pages[i].facts.size());
+    for (size_t f = 0; f < a.corpus.pages[i].facts.size(); ++f) {
+      EXPECT_EQ(a.corpus.pages[i].facts[f].value,
+                b.corpus.pages[i].facts[f].value);
+    }
+  }
+}
+
+TEST(SourceModelTest, UrlsAreDenseAndMappedToSites) {
+  Fixture f;
+  ASSERT_EQ(f.corpus.url_site.size(), f.corpus.pages.size());
+  for (size_t i = 0; i < f.corpus.pages.size(); ++i) {
+    EXPECT_EQ(f.corpus.pages[i].url, i);
+    EXPECT_EQ(f.corpus.pages[i].site, f.corpus.url_site[i]);
+    EXPECT_LT(f.corpus.pages[i].site, f.corpus.num_sites);
+  }
+}
+
+TEST(SourceModelTest, FactsClaimKnownItems) {
+  Fixture f;
+  for (const WebPage& page : f.corpus.pages) {
+    for (const PageFact& fact : page.facts) {
+      EXPECT_FALSE(f.world.truth.Values(fact.item).empty())
+          << "page fact about an item without truths";
+    }
+  }
+}
+
+TEST(SourceModelTest, SourceFalseFlagConsistent) {
+  Fixture f;
+  for (const WebPage& page : f.corpus.pages) {
+    for (const PageFact& fact : page.facts) {
+      bool is_truth = f.world.truth.Contains(fact.item, fact.value);
+      EXPECT_EQ(fact.source_false, !is_truth);
+    }
+  }
+}
+
+TEST(SourceModelTest, MostClaimsAreTrue) {
+  // Site accuracies average ~0.88, so the corpus-wide claim accuracy
+  // should be clearly above 0.5 even with copying.
+  Fixture f;
+  size_t total = 0, truths = 0;
+  for (const WebPage& page : f.corpus.pages) {
+    for (const PageFact& fact : page.facts) {
+      ++total;
+      truths += fact.source_false ? 0 : 1;
+    }
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_GT(static_cast<double>(truths) / total, 0.6);
+}
+
+TEST(SourceModelTest, FactsPerPageHeavyTailed) {
+  Fixture f;
+  size_t singles = 0;
+  size_t max_facts = 0;
+  for (const WebPage& page : f.corpus.pages) {
+    if (page.facts.size() == 1) ++singles;
+    max_facts = std::max(max_facts, page.facts.size());
+  }
+  // Pareto with alpha ~1.15: a large share of single-fact pages and a
+  // heavy tail (Section 3.1.2: half the pages contribute one triple).
+  EXPECT_GT(static_cast<double>(singles) / f.corpus.pages.size(), 0.25);
+  EXPECT_GT(max_facts, 20u);
+}
+
+TEST(SourceModelTest, CopyingReplicatesClaims) {
+  // With copying enabled, identical (item, value) pairs appear on many
+  // pages even for false claims.
+  Fixture f;
+  std::unordered_map<uint64_t, int> claim_pages;
+  for (const WebPage& page : f.corpus.pages) {
+    for (const PageFact& fact : page.facts) {
+      if (!fact.source_false) continue;
+      uint64_t key = (static_cast<uint64_t>(fact.item.subject) << 40) ^
+                     (static_cast<uint64_t>(fact.item.predicate) << 20) ^
+                     fact.value;
+      ++claim_pages[key];
+    }
+  }
+  int max_repeat = 0;
+  for (const auto& [k, n] : claim_pages) max_repeat = std::max(max_repeat, n);
+  EXPECT_GT(max_repeat, 3) << "popular false values should recur";
+}
+
+}  // namespace
+}  // namespace kf::synth

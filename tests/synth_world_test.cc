@@ -1,0 +1,143 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::synth {
+namespace {
+
+SynthConfig TestConfig() {
+  SynthConfig c = SynthConfig::Small();
+  c.seed = 99;
+  return c;
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = BuildWorld(TestConfig());
+  World b = BuildWorld(TestConfig());
+  EXPECT_EQ(a.items.size(), b.items.size());
+  EXPECT_EQ(a.truth.num_triples(), b.truth.num_triples());
+  for (size_t i = 0; i < std::min<size_t>(100, a.items.size()); ++i) {
+    EXPECT_EQ(a.items[i].subject, b.items[i].subject);
+    EXPECT_EQ(a.items[i].predicate, b.items[i].predicate);
+  }
+}
+
+TEST(WorldTest, EveryItemHasAtLeastOneTruth) {
+  World w = BuildWorld(TestConfig());
+  ASSERT_GT(w.items.size(), 100u);
+  for (const kb::DataItem& item : w.items) {
+    EXPECT_FALSE(w.truth.Values(item).empty());
+  }
+}
+
+TEST(WorldTest, FunctionalPredicatesHaveSingleTruth) {
+  World w = BuildWorld(TestConfig());
+  for (const kb::DataItem& item : w.items) {
+    if (w.ontology.predicate(item.predicate).functional) {
+      EXPECT_EQ(w.truth.Values(item).size(), 1u);
+    }
+  }
+}
+
+TEST(WorldTest, NonFunctionalItemsSometimesMultiTruth) {
+  World w = BuildWorld(TestConfig());
+  size_t multi = 0, nonfunc = 0;
+  for (const kb::DataItem& item : w.items) {
+    if (!w.ontology.predicate(item.predicate).functional) {
+      ++nonfunc;
+      if (w.truth.Values(item).size() > 1) ++multi;
+    }
+  }
+  ASSERT_GT(nonfunc, 0u);
+  EXPECT_GT(static_cast<double>(multi) / nonfunc, 0.2);
+}
+
+TEST(WorldTest, HierarchyIsThreeLevels) {
+  SynthConfig c = TestConfig();
+  World w = BuildWorld(c);
+  EXPECT_EQ(w.hier_roots.size(), c.hierarchy_countries);
+  EXPECT_EQ(w.hier_mids.size(),
+            c.hierarchy_countries * c.states_per_country);
+  EXPECT_EQ(w.hier_leaves.size(), c.hierarchy_countries *
+                                      c.states_per_country *
+                                      c.cities_per_state);
+  for (kb::ValueId leaf : w.hier_leaves) {
+    EXPECT_EQ(w.hierarchy.Depth(leaf), 2);
+  }
+  for (kb::ValueId root : w.hier_roots) {
+    EXPECT_EQ(w.hierarchy.Depth(root), 0);
+  }
+}
+
+TEST(WorldTest, HierarchyTrueAcceptsAncestorsOfTruth) {
+  World w = BuildWorld(TestConfig());
+  // Find a hierarchical item.
+  for (const kb::DataItem& item : w.items) {
+    if (!w.ontology.predicate(item.predicate).hierarchical_values) continue;
+    kb::ValueId truth = w.truth.Values(item)[0];
+    kb::ValueId state = w.hierarchy.ParentOf(truth);
+    ASSERT_NE(state, kb::kInvalidId);
+    EXPECT_TRUE(w.HierarchyTrue(item, truth));
+    EXPECT_TRUE(w.HierarchyTrue(item, state));
+    return;  // one is enough
+  }
+  GTEST_SKIP() << "no hierarchical items in this corpus";
+}
+
+TEST(WorldTest, FalseValueNeverMatchesAllTruths) {
+  World w = BuildWorld(TestConfig());
+  Rng rng(5);
+  // Sampled false values must have the right kind for the predicate.
+  for (size_t i = 0; i < 50 && i < w.items.size(); ++i) {
+    const kb::DataItem& item = w.items[i];
+    const auto& pred = w.ontology.predicate(item.predicate);
+    kb::ValueId v = w.SampleFalseValue(item, 1.3, 24, &rng);
+    const kb::Value& value = w.values.Get(v);
+    if (!pred.hierarchical_values) {
+      EXPECT_EQ(value.kind, pred.object_kind);
+    } else {
+      EXPECT_EQ(value.kind, kb::ValueKind::kEntity);
+    }
+  }
+}
+
+TEST(FreebaseSnapshotTest, PartialCoverage) {
+  SynthConfig c = TestConfig();
+  World w = BuildWorld(c);
+  kb::KnowledgeBase fb = BuildFreebaseSnapshot(w, c);
+  EXPECT_GT(fb.num_items(), 0u);
+  EXPECT_LT(fb.num_items(), w.items.size());
+  double coverage = static_cast<double>(fb.num_items()) / w.items.size();
+  EXPECT_NEAR(coverage, c.fb_item_coverage, 0.08);
+}
+
+TEST(FreebaseSnapshotTest, CoveredItemsKeepFirstTruth) {
+  SynthConfig c = TestConfig();
+  c.fb_error_rate = 0.0;
+  World w = BuildWorld(c);
+  kb::KnowledgeBase fb = BuildFreebaseSnapshot(w, c);
+  size_t checked = 0;
+  for (const kb::DataItem& item : w.items) {
+    if (!fb.HasItem(item)) continue;
+    EXPECT_TRUE(fb.Contains(item, w.truth.Values(item)[0]));
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(FreebaseSnapshotTest, ErrorRateInjectsWrongValues) {
+  SynthConfig c = TestConfig();
+  c.fb_error_rate = 0.5;  // exaggerate for the test
+  World w = BuildWorld(c);
+  kb::KnowledgeBase fb = BuildFreebaseSnapshot(w, c);
+  size_t wrong = 0;
+  for (const kb::DataItem& item : w.items) {
+    for (kb::ValueId v : fb.Values(item)) {
+      if (!w.truth.Contains(item, v)) ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, 10u);
+}
+
+}  // namespace
+}  // namespace kf::synth
