@@ -8,6 +8,7 @@
 // Output columns: subject predicate object probability
 // With no INPUT, runs on a built-in demo corpus.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -73,7 +74,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (StartsWith(arg, "--theta=")) {
-      options.min_provenance_accuracy = std::atof(arg.c_str() + 8);
+      const char* begin = arg.c_str() + 8;
+      char* end = nullptr;
+      options.min_provenance_accuracy = std::strtod(begin, &end);
+      if (end == begin || *end != '\0') {
+        std::fprintf(stderr, "error: --theta expects a number, got '%s'\n",
+                     begin);
+        Usage();
+        return 2;
+      }
     } else if (arg == "--filter-by-coverage") {
       options.filter_by_coverage = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -87,6 +96,13 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  Status valid = options.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    Usage();
+    return 2;
   }
 
   Result<extract::TsvCorpus> corpus =

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: exactly the command ROADMAP.md specifies.
+#   ./scripts/check.sh            -> configure + build + ctest in ./build
+#   BUILD_DIR=build-asan KF_SANITIZE=ON ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+EXTRA_CMAKE_ARGS=()
+if [[ "${KF_SANITIZE:-}" == "ON" ]]; then
+  EXTRA_CMAKE_ARGS+=(-DKF_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug)
+fi
+
+# Tier-1 writes bare `-j`; pin it to nproc — on ctest/make < 3.29 a bare
+# -j means unbounded parallelism (and swallows any argument after it).
+JOBS="$(nproc 2>/dev/null || echo 4)"
+# The ${arr[@]+...} guard keeps `set -u` happy on bash < 4.4 when empty.
+cmake -B "${BUILD_DIR}" -S . ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}
+cmake --build "${BUILD_DIR}" -j"${JOBS}"
+cd "${BUILD_DIR}" && ctest --output-on-failure -j"${JOBS}"

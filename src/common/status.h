@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace kf {
 
 enum class StatusCode {
@@ -71,15 +73,15 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  const T& value() const& { KF_DCHECK(ok()); return *value_; }
+  T& value() & { KF_DCHECK(ok()); return *value_; }
+  T&& value() && { KF_DCHECK(ok()); return std::move(*value_); }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
+  const T& operator*() const& { KF_DCHECK(ok()); return *value_; }
+  T& operator*() & { KF_DCHECK(ok()); return *value_; }
 
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  const T* operator->() const { KF_DCHECK(ok()); return &*value_; }
+  T* operator->() { KF_DCHECK(ok()); return &*value_; }
 
   /// Returns the value, or `fallback` if this Result holds an error.
   T value_or(T fallback) const& {

@@ -40,6 +40,7 @@ double FusionResult::Coverage() const {
 FusionEngine::FusionEngine(const extract::ExtractionDataset& dataset,
                            const FusionOptions& options)
     : dataset_(dataset), options_(options) {
+  KF_CHECK_OK(options_.Validate());
   BuildClaims();
 }
 
@@ -102,7 +103,7 @@ FusionResult FusionEngine::Run(const std::vector<Label>* gold,
   result.num_provenances = num_provs_;
 
   const bool is_vote = options_.method == Method::kVote;
-  const size_t max_rounds = is_vote ? 1 : std::max<size_t>(1, options_.max_rounds);
+  const size_t max_rounds = is_vote ? 1 : options_.max_rounds;
   const double theta = options_.min_provenance_accuracy;
 
   mr::Options mr_opts;

@@ -53,6 +53,51 @@ FusionOptions FusionOptions::PopAccuPlus() {
   return o;
 }
 
+Status FusionOptions::Validate() const {
+  if (!(default_accuracy > 0.0 && default_accuracy < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("default_accuracy must be in (0,1), got %g",
+                  default_accuracy));
+  }
+  if (!(n_false_values > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("n_false_values must be positive, got %g", n_false_values));
+  }
+  if (max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be at least 1");
+  }
+  if (!(convergence_epsilon >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("convergence_epsilon must be non-negative, got %g",
+                  convergence_epsilon));
+  }
+  if (sample_cap == 0) {
+    return Status::InvalidArgument("sample_cap must be at least 1");
+  }
+  if (!(min_provenance_accuracy >= 0.0 && min_provenance_accuracy < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("min_provenance_accuracy must be in [0,1), got %g",
+                  min_provenance_accuracy));
+  }
+  if (!(gold_sample_rate >= 0.0 && gold_sample_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("gold_sample_rate must be in [0,1], got %g",
+                  gold_sample_rate));
+  }
+  if (init_accuracy_from_gold && gold_sample_rate == 0.0) {
+    return Status::InvalidArgument(
+        "init_accuracy_from_gold needs gold_sample_rate > 0");
+  }
+  if (!(accuracy_floor > 0.0) || !(accuracy_ceiling < 1.0) ||
+      accuracy_floor >= accuracy_ceiling) {
+    return Status::InvalidArgument(
+        StrFormat("accuracy clamp must satisfy 0 < floor < ceiling < 1, "
+                  "got [%g, %g]",
+                  accuracy_floor, accuracy_ceiling));
+  }
+  return Status::OK();
+}
+
 std::string FusionOptions::ToString() const {
   std::string out = MethodName(method);
   out += " prov=" + granularity.ToString();

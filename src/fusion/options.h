@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "extract/provenance.h"
 
 namespace kf::fusion {
@@ -68,6 +69,12 @@ struct FusionOptions {
   /// POPACCU+ : the full semi-supervised stack (adds gold-standard
   /// accuracy initialization).
   static FusionOptions PopAccuPlus();
+
+  /// Rejects option combinations the engine cannot run (out-of-range
+  /// probabilities, zero rounds, inverted accuracy clamp, ...). The engine
+  /// checks this on construction; callers building options from user input
+  /// should call it themselves and surface the Status.
+  Status Validate() const;
 
   std::string ToString() const;
 };

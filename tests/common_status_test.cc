@@ -1,6 +1,12 @@
 #include "common/status.h"
 
+#include <memory>
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "common/logging.h"
 
 namespace kf {
 namespace {
@@ -68,6 +74,58 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_TRUE(Chained(1).ok());
   EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
 }
+
+TEST(StatusTest, EmptyMessageStillFormatsCode) {
+  Status s = Status::Internal("");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "Internal: ");
+}
+
+TEST(StatusTest, EveryErrorCodeHasADistinctName) {
+  std::set<std::string> names;
+  for (Status s : {Status::InvalidArgument("m"), Status::NotFound("m"),
+                   Status::OutOfRange("m"), Status::FailedPrecondition("m"),
+                   Status::Internal("m"), Status::IOError("m")}) {
+    std::string str = s.ToString();
+    EXPECT_EQ(str.substr(str.size() - 3), ": m");
+    names.insert(str);
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(StatusTest, CopyPreservesCodeAndMessage) {
+  Status s = Status::IOError("disk gone");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kIOError);
+  EXPECT_EQ(copy.message(), "disk gone");
+  EXPECT_EQ(s.message(), "disk gone");
+}
+
+TEST(ResultTest, ValueOrOnErrorDoesNotTouchValue) {
+  Result<std::string> r(Status::OutOfRange("past the end"));
+  EXPECT_EQ(r.value_or("fallback"), "fallback");
+  EXPECT_EQ(r.status().message(), "past the end");
+}
+
+TEST(StatusDeathTest, CheckOkAbortsOnError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(KF_CHECK_OK(Status::Internal("broken invariant")),
+               "broken invariant");
+}
+
+TEST(StatusDeathTest, CheckAbortsOnFalse) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(KF_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+#ifndef NDEBUG
+TEST(ResultDeathTest, ValueAccessOnErrorDiesInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Result<int> r(Status::NotFound("no value"));
+  EXPECT_DEATH((void)r.value(), "ok\\(\\)");
+  EXPECT_DEATH((void)*r, "ok\\(\\)");
+}
+#endif
 
 }  // namespace
 }  // namespace kf

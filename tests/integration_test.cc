@@ -120,6 +120,69 @@ TEST_F(IntegrationTest, PopAccuPlusIsReasonablyCalibrated) {
   EXPECT_GT(high, low + 0.3);
 }
 
+// Smoke-level end-to-end on a tiny corpus: synth world -> extraction ->
+// FusionEngine (VOTE one round; ACCU iterated) -> calibration. Asserts the
+// structural invariants every pipeline run must satisfy, independent of the
+// paper-shape bounds above.
+TEST(IntegrationSmokeTest, TinyCorpusVoteAndAccuEndToEnd) {
+  synth::SynthConfig config = synth::SynthConfig::Small();
+  config.seed = 7;
+  synth::SynthCorpus corpus = synth::GenerateCorpus(config);
+  std::vector<Label> labels =
+      eval::BuildGoldStandard(corpus.dataset, corpus.freebase);
+  ASSERT_GT(corpus.dataset.num_records(), 0u);
+  ASSERT_EQ(labels.size(), corpus.dataset.num_triples());
+
+  // VOTE converges in a single round by construction.
+  fusion::FusionOptions vote = fusion::FusionOptions::Vote();
+  fusion::FusionResult vresult = fusion::Fuse(corpus.dataset, vote);
+  EXPECT_EQ(vresult.num_rounds, 1u);
+  EXPECT_GT(vresult.num_provenances, 0u);
+
+  // ACCU iterates accuracy re-estimation up to R rounds.
+  fusion::FusionOptions accu = fusion::FusionOptions::Accu();
+  accu.max_rounds = 4;
+  fusion::FusionResult aresult = fusion::Fuse(corpus.dataset, accu);
+  EXPECT_GE(aresult.num_rounds, 1u);
+  EXPECT_LE(aresult.num_rounds, 4u);
+
+  for (const fusion::FusionResult* result : {&vresult, &aresult}) {
+    // Unfiltered runs must predict every unique triple.
+    ASSERT_EQ(result->probability.size(), corpus.dataset.num_triples());
+    ASSERT_EQ(result->has_probability.size(), corpus.dataset.num_triples());
+    EXPECT_DOUBLE_EQ(result->Coverage(), 1.0);
+    for (size_t i = 0; i < result->probability.size(); ++i) {
+      ASSERT_TRUE(result->has_probability[i]);
+      ASSERT_GE(result->probability[i], 0.0) << "triple " << i;
+      ASSERT_LE(result->probability[i], 1.0) << "triple " << i;
+    }
+
+    // Monotone probability sanity: high-probability triples must be true
+    // more often than low-probability ones.
+    double high = eval::RealAccuracyInRange(
+        result->probability, result->has_probability, labels, 0.7, 1.01);
+    double low = eval::RealAccuracyInRange(
+        result->probability, result->has_probability, labels, 0.0, 0.3);
+    EXPECT_GT(high, low);
+
+    eval::CalibrationCurve curve = eval::ComputeCalibration(
+        result->probability, result->has_probability, labels);
+    EXPECT_EQ(curve.num_buckets(), 21u);  // 20 width-0.05 buckets + {1.0}
+    uint64_t labeled_in_buckets = 0;
+    for (size_t b = 0; b < curve.num_buckets(); ++b) {
+      labeled_in_buckets += curve.count[b];
+      if (curve.count[b] == 0) continue;
+      EXPECT_GE(curve.predicted[b], 0.0);
+      EXPECT_LE(curve.predicted[b], 1.0);
+      EXPECT_GE(curve.real[b], 0.0);
+      EXPECT_LE(curve.real[b], 1.0);
+    }
+    EXPECT_GT(labeled_in_buckets, 0u);
+    EXPECT_GE(curve.weighted_deviation, 0.0);
+    EXPECT_LE(curve.weighted_deviation, 1.0);
+  }
+}
+
 TEST_F(IntegrationTest, DeterministicAcrossRuns) {
   fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
   opts.num_workers = 4;
