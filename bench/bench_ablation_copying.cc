@@ -25,11 +25,11 @@ int main() {
     auto labels = eval::BuildGoldStandard(corpus.dataset, corpus.freebase);
     auto accu = eval::EvaluateModel(
         "ACCU",
-        fusion::Fuse(corpus.dataset, fusion::FusionOptions::Accu(), &labels),
+        bench::RunFusion(corpus.dataset, fusion::FusionOptions::Accu(), &labels),
         labels);
     auto pop = eval::EvaluateModel(
         "POPACCU",
-        fusion::Fuse(corpus.dataset, fusion::FusionOptions::PopAccu(),
+        bench::RunFusion(corpus.dataset, fusion::FusionOptions::PopAccu(),
                      &labels),
         labels);
     table.AddRow({ToFixed(copy_prob, 2),

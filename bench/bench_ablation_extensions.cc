@@ -31,7 +31,7 @@ int main() {
   bench::PrintHeader("Ablation",
                      "Section 5 extensions vs POPACCU+ on targeted slices");
 
-  auto plus = fusion::Fuse(dataset, fusion::FusionOptions::PopAccuPlus(),
+  auto plus = bench::RunFusion(dataset, fusion::FusionOptions::PopAccuPlus(),
                            &w.labels);
 
   // ---- 5.3 multi-truth (non-functional predicates) ----
@@ -107,7 +107,7 @@ int main() {
   std::printf("\n5.1 source/extractor separation (all triples, "
               "unsupervised):\n");
   TextTable t51({"model", "WDev", "AUC-PR"});
-  auto pop = fusion::Fuse(dataset, fusion::FusionOptions::PopAccu(),
+  auto pop = bench::RunFusion(dataset, fusion::FusionOptions::PopAccu(),
                           &w.labels);
   auto pop_all = EvaluateOn("POPACCU (unsup)", pop, w.labels, all);
   auto se_all = EvaluateOn("SourceExtractor", se, w.labels, all);

@@ -35,11 +35,11 @@ int main() {
   add("PooledInvestment",
       fusion::RunPooledInvestment(w.corpus.dataset,
                                   fusion::PooledInvestmentOptions()));
-  add("VOTE", fusion::Fuse(w.corpus.dataset, fusion::FusionOptions::Vote(),
+  add("VOTE", bench::RunFusion(w.corpus.dataset, fusion::FusionOptions::Vote(),
                            &w.labels));
-  add("POPACCU", fusion::Fuse(w.corpus.dataset,
+  add("POPACCU", bench::RunFusion(w.corpus.dataset,
                               fusion::FusionOptions::PopAccu(), &w.labels));
-  add("POPACCU+", fusion::Fuse(w.corpus.dataset,
+  add("POPACCU+", bench::RunFusion(w.corpus.dataset,
                                fusion::FusionOptions::PopAccuPlus(),
                                &w.labels));
   table.Print();

@@ -29,6 +29,7 @@ int main() {
   for (const Row& row : rows) {
     fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
     opts.granularity = row.granularity;
+    bench::ValidateOrExit(opts);
     fusion::FusionEngine engine(w.corpus.dataset, opts);
     auto result = engine.Run(&w.labels);
     auto rep = eval::EvaluateModel(row.granularity.ToString(), result,

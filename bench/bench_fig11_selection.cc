@@ -19,7 +19,7 @@ int main() {
     fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
     opts.filter_by_coverage = by_cov;
     opts.min_provenance_accuracy = theta;
-    auto result = fusion::Fuse(w.corpus.dataset, opts, &w.labels);
+    auto result = bench::RunFusion(w.corpus.dataset, opts, &w.labels);
     auto rep = eval::EvaluateModel(name, result, w.labels);
     table.AddRow({name, ToFixed(rep.deviation, 3),
                   ToFixed(rep.weighted_deviation, 3),

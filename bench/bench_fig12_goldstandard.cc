@@ -33,7 +33,7 @@ int main() {
       opts.init_accuracy_from_gold = true;
       opts.gold_sample_rate = row.rate;
     }
-    auto result = fusion::Fuse(w.corpus.dataset, opts, &w.labels);
+    auto result = bench::RunFusion(w.corpus.dataset, opts, &w.labels);
     auto rep = eval::EvaluateModel("", result, w.labels);
     aucs.push_back(rep.auc_pr);
     table.AddRow({row.rate == 0.0 ? "none (default A0=0.8)"

@@ -47,7 +47,7 @@ int main() {
         opts.init_accuracy_from_gold = true;
         break;
     }
-    auto result = fusion::Fuse(w.corpus.dataset, opts, &w.labels);
+    auto result = bench::RunFusion(w.corpus.dataset, opts, &w.labels);
     auto rep = eval::EvaluateModel(steps[i].name, result, w.labels);
     reports.push_back(rep);
     table.AddRow({steps[i].name,
@@ -69,7 +69,7 @@ int main() {
           : "DIFFERS");
   // Abstract spot checks: p>=0.9 -> ~0.94 real; p<0.1 -> ~0.2 real;
   // [0.4,0.6) -> ~0.6 real.
-  auto r = fusion::Fuse(w.corpus.dataset, opts, &w.labels);
+  auto r = bench::RunFusion(w.corpus.dataset, opts, &w.labels);
   std::printf("\nabstract spot checks (POPACCU+):\n");
   std::printf("  real accuracy at p>=0.9    : %s\n",
               bench::PaperVsMeasured(

@@ -15,6 +15,7 @@ std::vector<double> RoundTrace(const extract::ExtractionDataset& dataset,
                                const std::vector<Label>& labels,
                                fusion::FusionOptions opts) {
   std::vector<double> wdev;
+  bench::ValidateOrExit(opts);
   fusion::FusionEngine engine(dataset, opts);
   engine.Run(&labels, [&](size_t, const std::vector<double>& prob,
                           const std::vector<uint8_t>& has) {
@@ -54,7 +55,7 @@ int main() {
     o.sample_cap = cap;
     o.max_rounds = rounds;
     auto rep = eval::EvaluateModel(
-        name, fusion::Fuse(w.corpus.dataset, o, &w.labels), w.labels);
+        name, bench::RunFusion(w.corpus.dataset, o, &w.labels), w.labels);
     knobs.AddRow({name, ToFixed(rep.deviation, 4),
                   ToFixed(rep.weighted_deviation, 4),
                   ToFixed(rep.auc_pr, 3)});

@@ -24,7 +24,7 @@ int main() {
   };
   std::vector<eval::ModelReport> reports;
   for (const Row& row : rows) {
-    auto result = fusion::Fuse(w.corpus.dataset, row.options, &w.labels);
+    auto result = bench::RunFusion(w.corpus.dataset, row.options, &w.labels);
     reports.push_back(eval::EvaluateModel(row.name, result, w.labels));
   }
 

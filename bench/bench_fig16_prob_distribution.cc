@@ -11,7 +11,7 @@ int main() {
   const auto& w = bench::GetWorkload();
   bench::PrintHeader("Figure 16",
                      "distribution of predicted probabilities (POPACCU+)");
-  auto result = fusion::Fuse(w.corpus.dataset,
+  auto result = bench::RunFusion(w.corpus.dataset,
                              fusion::FusionOptions::PopAccuPlus(), &w.labels);
 
   std::array<uint64_t, 11> hist = {};

@@ -13,7 +13,7 @@ using namespace kf;
 int main() {
   const auto& w = bench::GetWorkload();
   bench::PrintHeader("Figure 17", "error analysis of POPACCU+");
-  auto result = fusion::Fuse(w.corpus.dataset,
+  auto result = bench::RunFusion(w.corpus.dataset,
                              fusion::FusionOptions::PopAccuPlus(), &w.labels);
 
   const size_t kSample = 200;

@@ -34,7 +34,7 @@ int main() {
   TextTable table({"model", "Dev (paper)", "WDev (paper)", "AUC-PR (paper)"});
   std::vector<eval::ModelReport> reports;
   for (const Row& row : rows) {
-    auto result = fusion::Fuse(w.corpus.dataset, row.options, &w.labels);
+    auto result = bench::RunFusion(w.corpus.dataset, row.options, &w.labels);
     auto rep = eval::EvaluateModel(row.name, result, w.labels);
     reports.push_back(rep);
     table.AddRow({row.name,

@@ -1,10 +1,19 @@
 // Performance microbenchmarks (google-benchmark): MapReduce engine
-// scaling, claim construction, and end-to-end fusion throughput across
-// corpus scales and worker counts. The paper's Section 4.1 motivation:
-// the pipeline must scale out and bound per-reducer work via sampling.
+// scaling, claim-graph construction, per-stage sweep costs, incremental
+// append, and end-to-end fusion throughput across corpus scales and worker
+// counts. The per-stage benchmarks exist to police the claim-graph
+// invariant: Stage I/II are sweeps over groupings built once, so one round
+// must cost a fraction of an end-to-end BM_FusePopAccu run — if a
+// per-round shuffle ever sneaks back in, these regress first.
+//
+// scripts/bench.sh runs this binary and records BENCH_perf.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench/bench_util.h"
 #include "eval/gold_standard.h"
+#include "fusion/claim_graph.h"
 #include "fusion/claims.h"
 #include "fusion/engine.h"
 #include "mr/mapreduce.h"
@@ -26,6 +35,13 @@ const synth::SynthCorpus& CorpusAtScale(double scale) {
              .first;
   }
   return *it->second;
+}
+
+fusion::FusionOptions PopAccuOpts(size_t workers) {
+  fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
+  opts.num_workers = workers;
+  bench::ValidateOrExit(opts);
+  return opts;
 }
 
 void BM_MapReduceWordHistogram(benchmark::State& state) {
@@ -55,6 +71,8 @@ void BM_MapReduceWordHistogram(benchmark::State& state) {
 }
 BENCHMARK(BM_MapReduceWordHistogram)->Arg(1)->Arg(4)->Arg(16);
 
+// Legacy flat claim construction, kept as the reference point for
+// BM_ClaimGraphBuild.
 void BM_BuildClaims(benchmark::State& state) {
   const auto& corpus = CorpusAtScale(1.0);
   for (auto _ : state) {
@@ -67,13 +85,102 @@ void BM_BuildClaims(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildClaims);
 
+// ---- per-stage benchmarks (the claim-graph hot paths) ----
+
+// Build the sharded graph once (arg: shard count).
+void BM_ClaimGraphBuild(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  const size_t shards = static_cast<size_t>(state.range(0));
+  size_t actual_shards = 0;  // resolved count (arg 0 = auto)
+  for (auto _ : state) {
+    fusion::ClaimGraph graph(corpus.dataset,
+                             extract::Granularity::ExtractorUrl(), shards);
+    actual_shards = graph.num_shards();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_records());
+  state.counters["shards"] = static_cast<double>(actual_shards);
+}
+BENCHMARK(BM_ClaimGraphBuild)->Arg(0)->Arg(64)->Arg(256);
+
+// One Stage I sweep: score every item group against the current
+// accuracies (args: corpus scale x4, workers).
+void BM_StageISweep(benchmark::State& state) {
+  double scale = state.range(0) / 4.0;
+  const auto& corpus = CorpusAtScale(scale);
+  fusion::FusionEngine engine(
+      corpus.dataset, PopAccuOpts(static_cast<size_t>(state.range(1))));
+  fusion::FusionResult result = engine.Prepare();
+  for (auto _ : state) {
+    engine.StageI(1, &result);
+    benchmark::DoNotOptimize(result.probability.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(engine.num_claims()));
+  state.counters["claims"] = static_cast<double>(engine.num_claims());
+}
+BENCHMARK(BM_StageISweep)
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// One Stage II sweep: re-evaluate every provenance accuracy from the
+// round's probabilities via the cross-index.
+void BM_StageIISweep(benchmark::State& state) {
+  double scale = state.range(0) / 4.0;
+  const auto& corpus = CorpusAtScale(scale);
+  fusion::FusionEngine engine(
+      corpus.dataset, PopAccuOpts(static_cast<size_t>(state.range(1))));
+  fusion::FusionResult result = engine.Prepare();
+  engine.StageI(1, &result);
+  for (auto _ : state) {
+    double delta = engine.StageII(result);
+    benchmark::DoNotOptimize(delta);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(engine.num_claims()));
+  state.counters["provs"] = static_cast<double>(engine.num_provenances());
+}
+BENCHMARK(BM_StageIISweep)
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental append: ingest the last `batch` records into an
+// already-built graph (rebuilds only the touched shards + cross-index).
+void BM_IncrementalAppend(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  const size_t total = corpus.dataset.num_records();
+  // Clamp so a batch arg larger than the corpus cannot underflow into a
+  // no-op Update that reports an inflated appends/sec baseline.
+  const size_t batch =
+      std::min(static_cast<size_t>(state.range(0)), total);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fusion::ClaimGraph graph(corpus.dataset,
+                             extract::Granularity::ExtractorUrl(),
+                             /*num_shards=*/64, /*num_workers=*/0,
+                             total - batch);
+    state.ResumeTiming();
+    graph.Update(corpus.dataset);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_IncrementalAppend)->Arg(1)->Arg(1024)->Arg(16384);
+
+// ---- end-to-end fusion ----
+
 void BM_FusePopAccu(benchmark::State& state) {
   double scale = state.range(0) / 4.0;
   const auto& corpus = CorpusAtScale(scale);
-  fusion::FusionOptions opts = fusion::FusionOptions::PopAccu();
-  opts.num_workers = static_cast<size_t>(state.range(1));
+  fusion::FusionOptions opts =
+      PopAccuOpts(static_cast<size_t>(state.range(1)));
   for (auto _ : state) {
-    auto result = fusion::Fuse(corpus.dataset, opts);
+    auto result = bench::RunFusion(corpus.dataset, opts);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -93,8 +200,9 @@ BENCHMARK(BM_FusePopAccu)
 void BM_FuseVote(benchmark::State& state) {
   const auto& corpus = CorpusAtScale(1.0);
   fusion::FusionOptions opts = fusion::FusionOptions::Vote();
+  bench::ValidateOrExit(opts);
   for (auto _ : state) {
-    auto result = fusion::Fuse(corpus.dataset, opts);
+    auto result = bench::RunFusion(corpus.dataset, opts);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

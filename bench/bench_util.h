@@ -6,6 +6,7 @@
 #define KF_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,9 +15,33 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "eval/gold_standard.h"
+#include "fusion/engine.h"
 #include "synth/corpus.h"
 
 namespace kf::bench {
+
+/// Every bench funnels its fusion options through here before touching the
+/// engine: a bad combination (usually a hand-edited experiment sweep)
+/// reports the Status and exits instead of KF_CHECK-aborting deep inside
+/// FusionEngine.
+inline void ValidateOrExit(const fusion::FusionOptions& options) {
+  Status status = options.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid fusion options (%s): %s\n",
+                 options.ToString().c_str(), status.ToString().c_str());
+    std::exit(2);
+  }
+}
+
+/// Validated construct-and-run; the bench drivers' replacement for calling
+/// fusion::Fuse directly.
+inline fusion::FusionResult RunFusion(
+    const extract::ExtractionDataset& dataset,
+    const fusion::FusionOptions& options,
+    const std::vector<Label>* gold = nullptr) {
+  ValidateOrExit(options);
+  return fusion::Fuse(dataset, options, gold);
+}
 
 struct Workload {
   synth::SynthCorpus corpus;

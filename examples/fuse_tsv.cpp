@@ -3,6 +3,7 @@
 //   ./fuse_tsv INPUT.tsv [OUTPUT.tsv] [--method=vote|accu|popaccu]
 //              [--granularity=url|site|site_pred|site_pred_pattern]
 //              [--theta=0.25] [--filter-by-coverage]
+//              [--workers=N] [--shards=N]
 //
 // Input columns: subject predicate object extractor url [confidence]
 // Output columns: subject predicate object probability
@@ -34,7 +35,8 @@ void Usage() {
                "[--method=vote|accu|popaccu]\n"
                "                [--granularity=url|site|site_pred|"
                "site_pred_pattern]\n"
-               "                [--theta=X] [--filter-by-coverage]\n");
+               "                [--theta=X] [--filter-by-coverage]\n"
+               "                [--workers=N] [--shards=N]\n");
 }
 
 }  // namespace
@@ -82,6 +84,27 @@ int main(int argc, char** argv) {
                      begin);
         Usage();
         return 2;
+      }
+    } else if (StartsWith(arg, "--workers=") ||
+               StartsWith(arg, "--shards=")) {
+      const bool is_workers = StartsWith(arg, "--workers=");
+      const char* begin = arg.c_str() + (is_workers ? 10 : 9);
+      char* end = nullptr;
+      // strtoull skips leading whitespace and silently wraps negatives
+      // ("-1" -> 2^64-1); require the value to start with a digit.
+      unsigned long long v = std::strtoull(begin, &end, 10);
+      if (end == begin || *end != '\0' ||
+          !(begin[0] >= '0' && begin[0] <= '9')) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got '%s'\n",
+                     is_workers ? "--workers" : "--shards", begin);
+        Usage();
+        return 2;
+      }
+      if (is_workers) {
+        options.num_workers = static_cast<size_t>(v);
+      } else {
+        options.num_shards = static_cast<size_t>(v);
       }
     } else if (arg == "--filter-by-coverage") {
       options.filter_by_coverage = true;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Perf baseline runner for bench_perf (google-benchmark).
+#
+#   ./scripts/bench.sh            -> full run, JSON recorded in BENCH_perf.json
+#   ./scripts/bench.sh --smoke    -> fast CI smoke: tiny min_time, per-stage
+#                                    benches only, no JSON written
+#
+# Extra arguments after the mode are forwarded to bench_perf (e.g.
+# --benchmark_filter=BM_StageISweep). BUILD_DIR overrides ./build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="${BUILD_DIR}/bench/bench_perf"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "bench_perf not built; configuring ${BUILD_DIR}..." >&2
+  cmake -B "${BUILD_DIR}" -S . > /dev/null
+  cmake --build "${BUILD_DIR}" --target bench_perf -j"$(nproc 2>/dev/null || echo 4)"
+fi
+if [[ ! -x "${BIN}" ]]; then
+  # bench/CMakeLists skips bench_perf when Google Benchmark is absent.
+  echo "bench_perf unavailable (Google Benchmark not installed); skipping" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  shift
+  # One pass over the claim-graph benches so perf binaries cannot rot in
+  # CI; min_time is tiny because only liveness matters here.
+  exec "${BIN}" \
+    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims)' \
+    --benchmark_min_time=0.01 "$@"
+fi
+
+"${BIN}" --benchmark_format=console \
+  --benchmark_out=BENCH_perf.json --benchmark_out_format=json "$@"
+echo "recorded BENCH_perf.json" >&2

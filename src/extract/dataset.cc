@@ -58,6 +58,20 @@ void ExtractionDataset::AddRecord(const ExtractionRecord& record) {
   records_.push_back(record);
 }
 
+Status ExtractionDataset::Append(
+    const std::vector<ExtractionRecord>& records) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].triple >= triples_.size()) {
+      return Status::InvalidArgument(
+          "Append: record " + std::to_string(i) +
+          " references uninterned triple id " +
+          std::to_string(records[i].triple));
+    }
+  }
+  records_.insert(records_.end(), records.begin(), records.end());
+  return Status::OK();
+}
+
 void ExtractionDataset::SetExtractors(std::vector<ExtractorMeta> extractors) {
   extractors_ = std::move(extractors);
 }

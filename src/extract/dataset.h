@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "extract/provenance.h"
 #include "kb/ids.h"
 
@@ -84,6 +85,15 @@ class ExtractionDataset {
                             bool true_in_world, bool hierarchy_true);
 
   void AddRecord(const ExtractionRecord& record);
+
+  /// Incremental ingest: appends a batch of extraction records whose
+  /// triples are already interned (via InternTriple). Consumers holding a
+  /// fusion::ClaimGraph over this dataset pick the new records up through
+  /// ClaimGraph::Update / FusionEngine::Refresh, which rebuild only the
+  /// shards the appended items touch. Rejects records referencing unknown
+  /// triples; on error the dataset is unchanged.
+  Status Append(const std::vector<ExtractionRecord>& records);
+
   void SetExtractors(std::vector<ExtractorMeta> extractors);
   void SetUrlSites(std::vector<SiteId> url_site);
   void SetCounts(size_t num_sites, size_t num_patterns,

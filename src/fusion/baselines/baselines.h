@@ -4,9 +4,9 @@
 // implement them so the benches can demonstrate exactly that (scores are
 // monotone but badly calibrated).
 //
-// All baselines consume the same deduplicated claims as the main engine and
-// return a FusionResult whose "probability" field holds the (normalized)
-// score of each claimed triple.
+// All baselines consume the same sharded ClaimGraph views as the main
+// engine (fusion/claim_graph.h) and return a FusionResult whose
+// "probability" field holds the (normalized) score of each claimed triple.
 #ifndef KF_FUSION_BASELINES_BASELINES_H_
 #define KF_FUSION_BASELINES_BASELINES_H_
 
@@ -21,6 +21,8 @@ struct BaselineOptions {
   extract::Granularity granularity = extract::Granularity::ExtractorUrl();
   size_t max_rounds = 5;
   size_t num_workers = 0;
+  /// Claim-graph shards (0 = auto), as in FusionOptions::num_shards.
+  size_t num_shards = 0;
 };
 
 /// TruthFinder (Yin, Han, Yu; SIGKDD 2007). Source trustworthiness is the

@@ -2,7 +2,7 @@
 #include <cmath>
 
 #include "fusion/baselines/baselines.h"
-#include "fusion/claims.h"
+#include "fusion/claim_graph.h"
 
 namespace kf::fusion {
 
@@ -11,40 +11,44 @@ namespace kf::fusion {
 // earn trust back proportional to their share of each claim's investment.
 FusionResult RunInvestment(const extract::ExtractionDataset& dataset,
                            const InvestmentOptions& options) {
-  ClaimSet set = BuildClaimSet(dataset, options.granularity);
+  ClaimGraph graph(dataset, options.granularity, options.num_shards,
+                   options.num_workers);
+  const std::vector<uint32_t>& prov_claims = graph.prov_claims();
   FusionResult result;
   result.probability.assign(dataset.num_triples(), 0.0);
   result.has_probability.assign(dataset.num_triples(), 0);
   result.from_fallback.assign(dataset.num_triples(), 0);
-  result.num_provenances = set.num_provs;
+  result.num_provenances = graph.num_provs();
 
-  std::vector<double> trust(set.num_provs, 1.0);
+  std::vector<double> trust(graph.num_provs(), 1.0);
   std::vector<double> credit(dataset.num_triples(), 0.0);
   std::vector<uint8_t> claimed(dataset.num_triples(), 0);
-  for (const Claim& c : set.claims) claimed[c.triple] = 1;
+  graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple, uint32_t,
+                         float) { claimed[triple] = 1; });
 
   for (size_t round = 0; round < options.max_rounds; ++round) {
     std::vector<double> invested(dataset.num_triples(), 0.0);
-    for (const Claim& c : set.claims) {
-      invested[c.triple] +=
-          trust[c.prov] / static_cast<double>(set.prov_claims[c.prov]);
-    }
+    graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple,
+                           uint32_t prov, float) {
+      invested[triple] +=
+          trust[prov] / static_cast<double>(prov_claims[prov]);
+    });
     for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
       if (claimed[t]) credit[t] = std::pow(invested[t], options.growth);
     }
-    std::vector<double> new_trust(set.num_provs, 0.0);
-    for (const Claim& c : set.claims) {
-      double share = trust[c.prov] /
-                     static_cast<double>(set.prov_claims[c.prov]);
-      if (invested[c.triple] > 0.0) {
-        new_trust[c.prov] += credit[c.triple] * share / invested[c.triple];
+    std::vector<double> new_trust(graph.num_provs(), 0.0);
+    graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple,
+                           uint32_t prov, float) {
+      double share = trust[prov] / static_cast<double>(prov_claims[prov]);
+      if (invested[triple] > 0.0) {
+        new_trust[prov] += credit[triple] * share / invested[triple];
       }
-    }
+    });
     // Normalize trust to mean 1 to avoid blow-up across rounds.
     double sum = 0.0;
     for (double t : new_trust) sum += t;
     if (sum > 0.0) {
-      double scale = static_cast<double>(set.num_provs) / sum;
+      double scale = static_cast<double>(graph.num_provs()) / sum;
       for (double& t : new_trust) t *= scale;
     }
     trust = std::move(new_trust);

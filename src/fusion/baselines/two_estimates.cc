@@ -2,7 +2,7 @@
 #include <cmath>
 
 #include "fusion/baselines/baselines.h"
-#include "fusion/claims.h"
+#include "fusion/claim_graph.h"
 
 namespace kf::fusion {
 
@@ -14,17 +14,20 @@ namespace kf::fusion {
 // [0, 1], which is the stabilizing trick of the original paper.
 FusionResult RunTwoEstimates(const extract::ExtractionDataset& dataset,
                              const TwoEstimatesOptions& options) {
-  ClaimSet set = BuildClaimSet(dataset, options.granularity);
+  ClaimGraph graph(dataset, options.granularity, options.num_shards,
+                   options.num_workers);
+  const std::vector<uint32_t>& prov_claims = graph.prov_claims();
   FusionResult result;
   result.probability.assign(dataset.num_triples(), 0.0);
   result.has_probability.assign(dataset.num_triples(), 0);
   result.from_fallback.assign(dataset.num_triples(), 0);
-  result.num_provenances = set.num_provs;
+  result.num_provenances = graph.num_provs();
 
   std::vector<double> truth(dataset.num_triples(), 0.5);
-  std::vector<double> error(set.num_provs, 0.2);
+  std::vector<double> error(graph.num_provs(), 0.2);
   std::vector<uint8_t> claimed(dataset.num_triples(), 0);
-  for (const Claim& c : set.claims) claimed[c.triple] = 1;
+  graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple, uint32_t,
+                         float) { claimed[triple] = 1; });
 
   auto renormalize = [](std::vector<double>* v,
                         const std::vector<uint8_t>* mask) {
@@ -48,41 +51,44 @@ FusionResult RunTwoEstimates(const extract::ExtractionDataset& dataset,
     std::vector<double> t_sum(dataset.num_triples(), 0.0);
     std::vector<double> t_cnt(dataset.num_triples(), 0.0);
     // positive evidence
-    for (const Claim& c : set.claims) {
-      t_sum[c.triple] += 1.0 - error[c.prov];
-      t_cnt[c.triple] += 1.0;
-    }
+    graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple,
+                           uint32_t prov, float) {
+      t_sum[triple] += 1.0 - error[prov];
+      t_cnt[triple] += 1.0;
+    });
     // negative evidence: other claims on the same item
     std::vector<double> item_err_sum(dataset.num_items(), 0.0);
     std::vector<double> item_cnt(dataset.num_items(), 0.0);
-    for (const Claim& c : set.claims) {
-      item_err_sum[c.item] += error[c.prov];
-      item_cnt[c.item] += 1.0;
-    }
-    for (const Claim& c : set.claims) {
+    graph.ForEachClaim([&](kb::DataItemId item, kb::TripleId,
+                           uint32_t prov, float) {
+      item_err_sum[item] += error[prov];
+      item_cnt[item] += 1.0;
+    });
+    graph.ForEachClaim([&](kb::DataItemId item, kb::TripleId triple,
+                           uint32_t prov, float) {
       // Each rival claim on the item contributes its source's error as
       // support for v (the rival being wrong supports v).
-      double rival_cnt = item_cnt[c.item] - 1.0;
+      double rival_cnt = item_cnt[item] - 1.0;
       if (rival_cnt > 0.0) {
-        double rival_err =
-            item_err_sum[c.item] - error[c.prov];
-        t_sum[c.triple] += rival_err;
-        t_cnt[c.triple] += rival_cnt;
+        double rival_err = item_err_sum[item] - error[prov];
+        t_sum[triple] += rival_err;
+        t_cnt[triple] += rival_cnt;
       }
-    }
+    });
     for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
       if (claimed[t] && t_cnt[t] > 0.0) truth[t] = t_sum[t] / t_cnt[t];
     }
     renormalize(&truth, &claimed);
 
     // e step: a source erred on a claim in proportion to (1 - T(v)).
-    std::vector<double> e_sum(set.num_provs, 0.0);
-    for (const Claim& c : set.claims) {
-      e_sum[c.prov] += 1.0 - truth[c.triple];
-    }
-    for (size_t p = 0; p < set.num_provs; ++p) {
-      if (set.prov_claims[p] > 0) {
-        error[p] = e_sum[p] / static_cast<double>(set.prov_claims[p]);
+    std::vector<double> e_sum(graph.num_provs(), 0.0);
+    graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple,
+                           uint32_t prov, float) {
+      e_sum[prov] += 1.0 - truth[triple];
+    });
+    for (size_t p = 0; p < graph.num_provs(); ++p) {
+      if (prov_claims[p] > 0) {
+        error[p] = e_sum[p] / static_cast<double>(prov_claims[p]);
       }
     }
     renormalize(&error, nullptr);

@@ -1,0 +1,159 @@
+#include "fusion/claim_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+
+namespace kf::fusion {
+
+ClaimGraph::ClaimGraph(const extract::ExtractionDataset& dataset,
+                       const extract::Granularity& granularity,
+                       size_t num_shards, size_t num_workers,
+                       size_t num_records)
+    : granularity_(granularity),
+      partitioner_(num_shards > 0 ? num_shards
+                                  : mr::SuggestShards(dataset.num_items())),
+      num_workers_(num_workers) {
+  KF_CHECK(partitioner_.num_shards() <= kMaxClaimGraphShards);
+  shards_.resize(partitioner_.num_shards());
+  Update(dataset, num_records);
+}
+
+size_t ClaimGraph::Update(const extract::ExtractionDataset& dataset,
+                          size_t num_records) {
+  const size_t n = std::min(num_records, dataset.num_records());
+  KF_CHECK(n >= num_records_indexed_);  // the dataset is append-only
+  if (n == num_records_indexed_) return 0;
+  // A default-constructed graph is only a move-assignment placeholder; it
+  // has no shards to route into.
+  KF_CHECK(!shards_.empty());
+
+  // Route the new records: intern provenances in global record order (so
+  // dense prov ids match a full rebuild of the concatenated dataset) and
+  // mark every shard that receives a record dirty.
+  std::vector<uint8_t> dirty(shards_.size(), 0);
+  record_prov_.reserve(n);
+  for (size_t i = num_records_indexed_; i < n; ++i) {
+    const extract::ExtractionRecord& r = dataset.records()[i];
+    KF_CHECK(r.triple < dataset.num_triples());
+    uint64_t key = extract::ProvenanceKey(r.prov, granularity_);
+    auto [it, inserted] = prov_index_.emplace(
+        key, static_cast<uint32_t>(prov_index_.size()));
+    record_prov_.push_back(it->second);
+    size_t s = partitioner_.ShardOf(dataset.triple(r.triple).item);
+    shards_[s].records.push_back(static_cast<uint32_t>(i));
+    dirty[s] = 1;
+  }
+  num_records_indexed_ = n;
+
+  std::vector<uint32_t> dirty_shards;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (dirty[s]) dirty_shards.push_back(static_cast<uint32_t>(s));
+  }
+  // Shard rebuilds are independent (each touches only its own Shard), so
+  // the result is identical for any worker count.
+  ParallelFor(dirty_shards.size(), num_workers_, [&](size_t d) {
+    RebuildShard(dataset, &shards_[dirty_shards[d]]);
+  });
+  RebuildProvIndex();
+  return dirty_shards.size();
+}
+
+void ClaimGraph::RebuildShard(const extract::ExtractionDataset& dataset,
+                              Shard* shard) {
+  // Re-deduplicate the shard's full record list: first-seen order for both
+  // (prov, triple) pairs and items, exactly as a full build would see them.
+  std::unordered_map<uint64_t, uint32_t> pair_index;  // (prov, triple)
+  std::unordered_map<kb::DataItemId, uint32_t> item_index;
+  std::vector<kb::TripleId> flat_triple;
+  std::vector<uint32_t> flat_prov;
+  std::vector<float> flat_conf;
+  std::vector<uint32_t> flat_group;  // item group of each claim
+  std::vector<uint32_t> group_counts;
+  shard->items.clear();
+
+  for (uint32_t idx : shard->records) {
+    const extract::ExtractionRecord& r = dataset.records()[idx];
+    const uint32_t prov = record_prov_[idx];
+    uint64_t pair_key = (static_cast<uint64_t>(prov) << 32) |
+                        static_cast<uint64_t>(r.triple);
+    auto [it, inserted] = pair_index.emplace(
+        pair_key, static_cast<uint32_t>(flat_triple.size()));
+    if (!inserted) {
+      if (r.has_confidence) {
+        float& conf = flat_conf[it->second];
+        conf = std::max(conf, r.confidence);
+      }
+      continue;
+    }
+    kb::DataItemId item = dataset.triple(r.triple).item;
+    auto [git, gnew] = item_index.emplace(
+        item, static_cast<uint32_t>(shard->items.size()));
+    if (gnew) {
+      shard->items.push_back(item);
+      group_counts.push_back(0);
+    }
+    flat_triple.push_back(r.triple);
+    flat_prov.push_back(prov);
+    flat_conf.push_back(r.has_confidence ? r.confidence : -1.0f);
+    flat_group.push_back(git->second);
+    ++group_counts[git->second];
+  }
+
+  // Stable counting sort of the flat claims into item-grouped CSR columns.
+  shard->item_offsets = mr::CsrOffsets(group_counts);
+  const size_t num_claims = flat_triple.size();
+  shard->claim_triple.resize(num_claims);
+  shard->claim_prov.resize(num_claims);
+  shard->claim_confidence.resize(num_claims);
+  std::vector<uint32_t> cursor(shard->item_offsets.begin(),
+                               shard->item_offsets.end() - 1);
+  for (size_t i = 0; i < num_claims; ++i) {
+    uint32_t pos = cursor[flat_group[i]]++;
+    shard->claim_triple[pos] = flat_triple[i];
+    shard->claim_prov[pos] = flat_prov[i];
+    shard->claim_confidence[pos] = flat_conf[i];
+  }
+
+  // Per-item multi-support flag: some triple of the item has >= 2 claims.
+  shard->item_multi.assign(shard->num_items(), 0);
+  std::unordered_map<kb::TripleId, uint32_t> support;
+  for (size_t g = 0; g < shard->num_items(); ++g) {
+    support.clear();
+    for (uint32_t i = shard->item_offsets[g]; i < shard->item_offsets[g + 1];
+         ++i) {
+      if (++support[shard->claim_triple[i]] == 2) {
+        shard->item_multi[g] = 1;
+        break;
+      }
+    }
+  }
+}
+
+// The cross-index is refreshed with one flat O(total claims) pass — no
+// hashing, no dedup — even when a single shard changed. That keeps Update
+// bounded by roughly one Stage sweep (the engine re-runs its rounds after
+// any append anyway); the shard-local dedup above is where the real
+// rebuild cost lives. Splicing only the dirty shards' segments is the next
+// optimization if appends ever dominate (see ROADMAP).
+void ClaimGraph::RebuildProvIndex() {
+  const size_t num_provs = prov_index_.size();
+  prov_claims_.assign(num_provs, 0);
+  num_claims_ = 0;
+  for (const Shard& sh : shards_) {
+    num_claims_ += sh.num_claims();
+    for (uint32_t prov : sh.claim_prov) ++prov_claims_[prov];
+  }
+  prov_offsets_ = mr::CsrOffsets(prov_claims_);
+  prov_triples_.resize(num_claims_);
+  std::vector<uint32_t> cursor(prov_offsets_.begin(),
+                               prov_offsets_.end() - 1);
+  for (const Shard& sh : shards_) {
+    for (size_t i = 0; i < sh.num_claims(); ++i) {
+      prov_triples_[cursor[sh.claim_prov[i]]++] = sh.claim_triple[i];
+    }
+  }
+}
+
+}  // namespace kf::fusion

@@ -1,0 +1,151 @@
+// The sharded, columnar claim graph: the item/provenance groupings of the
+// three-stage architecture (Fig. 8), built once instead of re-shuffled
+// every round. Claims are hash-partitioned into shards by DataItemId; each
+// shard stores its claims as CSR-grouped columns (item -> claim range), and
+// a global provenance cross-index (prov -> claimed triples) spans the
+// shards. Stage I of the engine sweeps shards, Stage II sweeps the
+// cross-index; neither re-hashes or re-groups anything.
+//
+// Incremental ingest: Update() consumes the records appended to the
+// dataset since the last build, re-deduplicates only the shards whose data
+// items are touched, and refreshes the cross-index. For a fixed shard
+// count, appending then updating yields a graph bit-identical to a full
+// rebuild over the concatenated dataset (provenance ids are interned in
+// global record order, shard contents only depend on the shard's own
+// record list).
+#ifndef KF_FUSION_CLAIM_GRAPH_H_
+#define KF_FUSION_CLAIM_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/dataset.h"
+#include "extract/provenance.h"
+#include "kb/ids.h"
+#include "mr/partitioner.h"
+
+namespace kf::fusion {
+
+/// Hard ceiling on the shard count, enforced both by
+/// FusionOptions::Validate (friendly Status) and by the ClaimGraph
+/// constructor (KF_CHECK, covering the baseline runners).
+inline constexpr size_t kMaxClaimGraphShards = size_t{1} << 20;
+
+class ClaimGraph {
+ public:
+  static constexpr size_t kAllRecords = static_cast<size_t>(-1);
+
+  /// One shard: the claims of every data item hashed here, deduplicated by
+  /// (provenance, triple) and grouped by item. Items appear in first-seen
+  /// order of the shard's records; claims of one item keep first-seen
+  /// order. Columns are parallel arrays indexed by the item CSR.
+  struct Shard {
+    /// Record indices of the dataset routed to this shard, in dataset
+    /// order. Kept so an invalidated shard can re-deduplicate locally.
+    std::vector<uint32_t> records;
+
+    std::vector<kb::DataItemId> items;
+    std::vector<uint32_t> item_offsets;  // size items.size() + 1
+    /// Per item: some triple has >= 2 supporting claims (the round-1
+    /// coverage-filter qualification, structural so computed at build).
+    std::vector<uint8_t> item_multi;
+
+    std::vector<kb::TripleId> claim_triple;
+    std::vector<uint32_t> claim_prov;
+    /// Max confidence any record assigned to the claim, -1 when none had
+    /// one (same semantics as ClaimSet::confidence).
+    std::vector<float> claim_confidence;
+
+    size_t num_items() const { return items.size(); }
+    size_t num_claims() const { return claim_triple.size(); }
+  };
+
+  ClaimGraph() = default;
+
+  /// Builds the graph over the first `num_records` records of `dataset`
+  /// (all of them by default). `num_shards` 0 picks mr::SuggestShards of
+  /// the item count; the shard count is then fixed for the lifetime of the
+  /// graph. `num_workers` parallelizes shard construction (0 = hardware);
+  /// the result does not depend on it.
+  ClaimGraph(const extract::ExtractionDataset& dataset,
+             const extract::Granularity& granularity, size_t num_shards = 0,
+             size_t num_workers = 0, size_t num_records = kAllRecords);
+
+  /// Ingests records appended to `dataset` since the last build/update (up
+  /// to `num_records`), rebuilding only the touched shards, then refreshes
+  /// the provenance cross-index. Returns the number of shards rebuilt (0
+  /// for an empty append). The dataset must be append-only with respect to
+  /// the records already indexed.
+  size_t Update(const extract::ExtractionDataset& dataset,
+                size_t num_records = kAllRecords);
+
+  // ---- shard access (Stage I sweeps) ----
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t s) const { return shards_[s]; }
+  size_t shard_of_item(kb::DataItemId item) const {
+    return partitioner_.ShardOf(item);
+  }
+
+  // ---- provenance cross-index (Stage II sweeps) ----
+  size_t num_provs() const { return prov_claims_.size(); }
+  /// CSR offsets into prov_triples(); size num_provs() + 1.
+  const std::vector<uint32_t>& prov_offsets() const { return prov_offsets_; }
+  /// Triples claimed by each provenance, shard-major deterministic order.
+  const std::vector<kb::TripleId>& prov_triples() const {
+    return prov_triples_;
+  }
+  /// Claims per provenance (the CSR group sizes).
+  const std::vector<uint32_t>& prov_claims() const { return prov_claims_; }
+
+  // ---- whole-graph statistics ----
+  size_t num_claims() const { return num_claims_; }
+  size_t num_records_indexed() const { return num_records_indexed_; }
+
+  /// Visits every claim as fn(item, triple, prov, confidence), sweeping
+  /// shards in order. This is the full-graph view; pass a single shard to
+  /// ForEachClaimInShard for the shard-local one.
+  template <typename Fn>
+  void ForEachClaim(Fn&& fn) const {
+    for (const Shard& sh : shards_) ForEachClaimInShard(sh, fn);
+  }
+
+  template <typename Fn>
+  static void ForEachClaimInShard(const Shard& sh, Fn&& fn) {
+    for (size_t g = 0; g < sh.num_items(); ++g) {
+      for (uint32_t i = sh.item_offsets[g]; i < sh.item_offsets[g + 1];
+           ++i) {
+        fn(sh.items[g], sh.claim_triple[i], sh.claim_prov[i],
+           sh.claim_confidence[i]);
+      }
+    }
+  }
+
+ private:
+  void RebuildShard(const extract::ExtractionDataset& dataset, Shard* shard);
+  void RebuildProvIndex();
+
+  extract::Granularity granularity_;
+  mr::Partitioner partitioner_{1};
+  size_t num_workers_ = 0;
+
+  std::vector<Shard> shards_;
+  /// ProvenanceKey -> dense provenance id, interned in global record order
+  /// (so ids are stable under appends).
+  std::unordered_map<uint64_t, uint32_t> prov_index_;
+  /// Dense provenance id of every indexed record (avoids re-hashing
+  /// provenances when a shard is rebuilt).
+  std::vector<uint32_t> record_prov_;
+
+  size_t num_records_indexed_ = 0;
+  size_t num_claims_ = 0;
+  std::vector<uint32_t> prov_claims_;
+  /// Starts as {0} so the CSR invariant (size num_provs() + 1) holds even
+  /// before any record is indexed (empty dataset).
+  std::vector<uint32_t> prov_offsets_ = {0};
+  std::vector<kb::TripleId> prov_triples_;
+};
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_CLAIM_GRAPH_H_

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
-#include "mr/mapreduce.h"
+#include "common/threadpool.h"
 #include "mr/reservoir.h"
 
 namespace kf::fusion {
@@ -28,6 +29,10 @@ std::unique_ptr<Scorer> MakeScorer(const FusionOptions& options) {
   return nullptr;
 }
 
+/// Fixed block width for the Stage II provenance sweep; independent of the
+/// worker count so the reduction decomposition is reproducible.
+constexpr size_t kProvBlock = 256;
+
 }  // namespace
 
 double FusionResult::Coverage() const {
@@ -41,47 +46,47 @@ FusionEngine::FusionEngine(const extract::ExtractionDataset& dataset,
                            const FusionOptions& options)
     : dataset_(dataset), options_(options) {
   KF_CHECK_OK(options_.Validate());
-  BuildClaims();
+  graph_ = ClaimGraph(dataset, options_.granularity, options_.num_shards,
+                      options_.num_workers);
+  scorer_ = MakeScorer(options_);
 }
 
-void FusionEngine::BuildClaims() {
-  ClaimSet set = BuildClaimSet(dataset_, options_.granularity);
-  claims_ = std::move(set.claims);
-  num_provs_ = set.num_provs;
-  prov_claims_ = std::move(set.prov_claims);
-
-  // Round-1 coverage filter support: items where some triple has >= 2
-  // claims.
-  std::unordered_map<uint64_t, uint32_t> triple_support;
-  for (const Claim& c : claims_) ++triple_support[c.triple];
-  item_has_multi_.assign(dataset_.num_items(), 0);
-  for (const Claim& c : claims_) {
-    if (triple_support[c.triple] >= 2) item_has_multi_[c.item] = 1;
+size_t FusionEngine::Refresh() {
+  size_t rebuilt = graph_.Update(dataset_);
+  // Streaming callers may sweep again without re-Preparing: provenances
+  // introduced by the append enter at the default accuracy until Stage II
+  // evaluates them (a fresh Prepare()/Run() re-initializes everything).
+  if (accuracy_.size() < graph_.num_provs()) {
+    accuracy_.resize(graph_.num_provs(), options_.default_accuracy);
+    evaluated_.resize(graph_.num_provs(), 0);
   }
+  return rebuilt;
 }
 
 void FusionEngine::InitAccuracies(const std::vector<Label>* gold) {
-  accuracy_.assign(num_provs_, options_.default_accuracy);
-  evaluated_.assign(num_provs_, 0);
+  const size_t num_provs = graph_.num_provs();
+  accuracy_.assign(num_provs, options_.default_accuracy);
+  evaluated_.assign(num_provs, 0);
   if (!options_.init_accuracy_from_gold) return;
   KF_CHECK(gold != nullptr);
   KF_CHECK(gold->size() == dataset_.num_triples());
   // Section 4.3.3: initialize each provenance's accuracy as the fraction
   // of its triples labeled true by the (sampled) gold standard.
-  std::vector<uint32_t> labeled(num_provs_, 0);
-  std::vector<uint32_t> correct(num_provs_, 0);
+  std::vector<uint32_t> labeled(num_provs, 0);
+  std::vector<uint32_t> correct(num_provs, 0);
   const double rate = options_.gold_sample_rate;
-  for (const Claim& c : claims_) {
-    Label label = (*gold)[c.triple];
-    if (label == Label::kUnknown) continue;
+  graph_.ForEachClaim([&](kb::DataItemId, kb::TripleId triple, uint32_t prov,
+                          float) {
+    Label label = (*gold)[triple];
+    if (label == Label::kUnknown) return;
     if (rate < 1.0 &&
-        Hash01(HashCombine(options_.seed, c.triple)) >= rate) {
-      continue;  // triple not in the visible sample of the gold standard
+        Hash01(HashCombine(options_.seed, triple)) >= rate) {
+      return;  // triple not in the visible sample of the gold standard
     }
-    ++labeled[c.prov];
-    if (label == Label::kTrue) ++correct[c.prov];
-  }
-  for (size_t p = 0; p < num_provs_; ++p) {
+    ++labeled[prov];
+    if (label == Label::kTrue) ++correct[prov];
+  });
+  for (size_t p = 0; p < num_provs; ++p) {
     if (labeled[p] == 0) continue;
     double a = static_cast<double>(correct[p]) /
                static_cast<double>(labeled[p]);
@@ -91,200 +96,195 @@ void FusionEngine::InitAccuracies(const std::vector<Label>* gold) {
   }
 }
 
-FusionResult FusionEngine::Run(const std::vector<Label>* gold,
-                               const RoundCallback& callback) {
+FusionResult FusionEngine::Prepare(const std::vector<Label>* gold) {
+  Refresh();
   InitAccuracies(gold);
-  std::unique_ptr<Scorer> scorer = MakeScorer(options_);
-
   FusionResult result;
   result.probability.assign(dataset_.num_triples(), 0.0);
   result.has_probability.assign(dataset_.num_triples(), 0);
   result.from_fallback.assign(dataset_.num_triples(), 0);
-  result.num_provenances = num_provs_;
+  result.num_provenances = graph_.num_provs();
+  return result;
+}
 
-  const bool is_vote = options_.method == Method::kVote;
-  const size_t max_rounds = is_vote ? 1 : options_.max_rounds;
-  const double theta = options_.min_provenance_accuracy;
+void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
+                              bool prefer_evaluated,
+                              FusionResult* result) const {
+  // Scratch state reused across the shard's item groups: steady-state
+  // scoring allocates nothing.
+  ItemClaimsBuffer group;
+  TripleProbs probs;
+  std::unordered_map<kb::TripleId, uint8_t> scored;
+  std::unordered_map<kb::TripleId, std::pair<double, double>> fallback_agg;
 
-  mr::Options mr_opts;
-  mr_opts.num_workers = options_.num_workers;
-  mr_opts.num_partitions = mr::SuggestPartitions(dataset_.num_items());
+  for (size_t g = 0; g < shard.num_items(); ++g) {
+    const uint32_t begin = shard.item_offsets[g];
+    const uint32_t end = shard.item_offsets[g + 1];
 
-  // Coverage filter (Section 4.3.2): an item qualifies when some triple of
-  // it has >= 2 claims, or when a provenance with a data-driven accuracy
-  // (e.g. from gold initialization) claims it. Unqualified items are never
-  // predicted — the paper reports 8.2% of triples losing their prediction
-  // this way.
-  std::vector<uint8_t> item_qualified;
-
-  for (size_t round = 1; round <= max_rounds; ++round) {
-    // Re-qualify items each round: the evaluated-provenance set grows as
-    // Stage II assigns accuracies, unlocking more items ("provenances for
-    // which we still use the default accuracy" shrinks round over round).
+    // Coverage filter (Section 4.3.2): an item qualifies when some triple
+    // of it has >= 2 claims, or when a provenance with a data-driven
+    // accuracy (e.g. from gold initialization) claims it. The evaluated
+    // set grows as Stage II assigns accuracies, unlocking more items round
+    // over round. Unqualified items are never predicted — the paper
+    // reports 8.2% of triples losing their prediction this way.
     if (options_.filter_by_coverage) {
-      item_qualified = item_has_multi_;
-      for (const Claim& c : claims_) {
-        if (evaluated_[c.prov]) item_qualified[c.item] = 1;
+      bool qualified = shard.item_multi[g] != 0;
+      for (uint32_t i = begin; !qualified && i < end; ++i) {
+        qualified = evaluated_[shard.claim_prov[i]] != 0;
+      }
+      if (!qualified) continue;
+    }
+
+    // After round 1 the coverage filter ignores provenances still at the
+    // default accuracy, unless that would starve the item.
+    bool use_evaluated_only = false;
+    if (prefer_evaluated) {
+      for (uint32_t i = begin; i < end; ++i) {
+        uint32_t p = shard.claim_prov[i];
+        if (evaluated_[p] && (theta <= 0.0 || accuracy_[p] >= theta)) {
+          use_evaluated_only = true;
+          break;
+        }
       }
     }
-    // ---- Stage I: map by data item, score triples ----
-    auto claim_passes_theta = [&](const Claim& c) {
-      return theta <= 0.0 || accuracy_[c.prov] >= theta;
-    };
 
-    struct StageIValue {
-      kb::TripleId triple;
-      float accuracy;
-      uint8_t active;     // passes the accuracy threshold
-      uint8_t evaluated;  // provenance has a data-driven accuracy
-    };
-    struct StageIOut {
-      kb::TripleId triple;
-      double prob;
-      uint8_t fallback;
-    };
-    using StageI =
-        mr::Job<Claim, kb::DataItemId, StageIValue, StageIOut>;
-    const bool prefer_evaluated =
-        options_.filter_by_coverage && round > 1;
-    std::vector<StageIOut> probs = StageI::Run(
-        claims_,
-        [&](const Claim& c, const StageI::Emit& emit) {
-          if (options_.filter_by_coverage && !item_qualified[c.item]) {
-            return;  // the item never receives a prediction
-          }
-          StageIValue v;
-          v.triple = c.triple;
-          v.accuracy = static_cast<float>(accuracy_[c.prov]);
-          v.active = claim_passes_theta(c) ? 1 : 0;
-          v.evaluated = evaluated_[c.prov];
-          emit(c.item, v);
-        },
-        [&](const kb::DataItemId& item, std::vector<StageIValue>& values,
-            const StageI::EmitOut& emit) {
-          // After round 1 the coverage filter ignores provenances still at
-          // the default accuracy, unless that would starve the item.
-          bool use_evaluated_only = false;
-          if (prefer_evaluated) {
-            for (const StageIValue& v : values) {
-              if (v.active && v.evaluated) {
-                use_evaluated_only = true;
-                break;
-              }
-            }
-          }
-          ItemClaims group;
-          for (const StageIValue& v : values) {
-            if (!v.active) continue;
-            if (use_evaluated_only && !v.evaluated) continue;
-            group.triple.push_back(v.triple);
-            group.accuracy.push_back(v.accuracy);
-          }
-          // Section 4.3.2's compensation: triples that lost every
-          // supporting provenance to the accuracy filter receive the mean
-          // accuracy of their (filtered) provenances instead of no
-          // prediction. Applied per triple so partial filtering of an item
-          // does not silently drop its other values.
-          auto emit_fallbacks =
-              [&](const std::unordered_map<kb::TripleId, uint8_t>& scored) {
-                if (theta <= 0.0) return;
-                std::unordered_map<kb::TripleId, std::pair<double, double>>
-                    agg;
-                for (const StageIValue& v : values) {
-                  if (scored.count(v.triple)) continue;
-                  auto& [sum, cnt] = agg[v.triple];
-                  sum += v.accuracy;
-                  cnt += 1.0;
-                }
-                for (const auto& [t, sc] : agg) {
-                  emit(StageIOut{t, sc.first / sc.second, 1});
-                }
-              };
-          if (group.size() == 0) {
-            emit_fallbacks({});
-            return;
-          }
-          if (group.size() > options_.sample_cap) {
-            // Reservoir-sample claims, keeping the two arrays aligned.
-            std::vector<std::pair<kb::TripleId, double>> pairs;
-            pairs.reserve(group.size());
-            for (size_t i = 0; i < group.size(); ++i) {
-              pairs.emplace_back(group.triple[i], group.accuracy[i]);
-            }
-            Rng rng(HashCombine(HashCombine(options_.seed, 0x51), item));
-            mr::ReservoirSample(&pairs, options_.sample_cap, &rng);
-            group.triple.clear();
-            group.accuracy.clear();
-            for (const auto& [t, a] : pairs) {
-              group.triple.push_back(t);
-              group.accuracy.push_back(a);
-            }
-          }
-          TripleProbs out;
-          scorer->Score(group, &out);
-          std::unordered_map<kb::TripleId, uint8_t> scored;
-          for (const auto& [t, p] : out) {
-            emit(StageIOut{t, p, 0});
-            scored.emplace(t, 1);
-          }
-          emit_fallbacks(scored);
-        },
-        mr_opts);
-
-    // Scatter round probabilities. Unpredicted triples keep their previous
-    // round's value only if they had one; a fresh mask is built per round.
-    std::fill(result.has_probability.begin(), result.has_probability.end(),
-              0);
-    std::fill(result.from_fallback.begin(), result.from_fallback.end(), 0);
-    for (const StageIOut& o : probs) {
-      result.probability[o.triple] = o.prob;
-      result.has_probability[o.triple] = 1;
-      result.from_fallback[o.triple] = o.fallback;
+    group.clear();
+    for (uint32_t i = begin; i < end; ++i) {
+      uint32_t p = shard.claim_prov[i];
+      if (theta > 0.0 && accuracy_[p] < theta) continue;
+      if (use_evaluated_only && !evaluated_[p]) continue;
+      group.push(shard.claim_triple[i], accuracy_[p]);
     }
+
+    // Section 4.3.2's compensation: triples that lost every supporting
+    // provenance to the accuracy filter receive the mean accuracy of their
+    // (filtered) provenances instead of no prediction. Applied per triple
+    // so partial filtering of an item does not silently drop its other
+    // values.
+    auto scatter_fallbacks = [&]() {
+      if (theta <= 0.0) return;
+      fallback_agg.clear();
+      for (uint32_t i = begin; i < end; ++i) {
+        kb::TripleId t = shard.claim_triple[i];
+        if (scored.count(t)) continue;
+        auto& [sum, cnt] = fallback_agg[t];
+        sum += accuracy_[shard.claim_prov[i]];
+        cnt += 1.0;
+      }
+      for (const auto& [t, sc] : fallback_agg) {
+        result->probability[t] = sc.first / sc.second;
+        result->has_probability[t] = 1;
+        result->from_fallback[t] = 1;
+      }
+    };
+
+    scored.clear();
+    if (group.size() == 0) {
+      scatter_fallbacks();
+      continue;
+    }
+    if (group.size() > options_.sample_cap) {
+      // Reservoir-sample claims, keeping the two columns aligned.
+      std::vector<std::pair<kb::TripleId, double>> pairs;
+      pairs.reserve(group.size());
+      for (size_t i = 0; i < group.size(); ++i) {
+        pairs.emplace_back(group.triple[i], group.accuracy[i]);
+      }
+      Rng rng(HashCombine(HashCombine(options_.seed, 0x51), shard.items[g]));
+      mr::ReservoirSample(&pairs, options_.sample_cap, &rng);
+      group.clear();
+      for (const auto& [t, a] : pairs) group.push(t, a);
+    }
+
+    probs.clear();
+    scorer_->Score(group.view(), &probs);
+    // Each triple belongs to exactly one item group of one shard, so the
+    // dense scatters below race with nothing.
+    for (const auto& [t, p] : probs) {
+      result->probability[t] = p;
+      result->has_probability[t] = 1;
+      result->from_fallback[t] = 0;
+      if (theta > 0.0) scored.emplace(t, 1);
+    }
+    scatter_fallbacks();
+  }
+}
+
+void FusionEngine::StageI(size_t round, FusionResult* result) {
+  // The result must have been sized by Prepare() for the current dataset;
+  // an append that interned new triples requires a fresh Prepare().
+  KF_CHECK(result->probability.size() == dataset_.num_triples());
+  KF_CHECK(accuracy_.size() == graph_.num_provs());
+  // Fresh per-round masks: unpredicted triples must not inherit a stale
+  // probability from the previous round.
+  std::fill(result->has_probability.begin(), result->has_probability.end(),
+            0);
+  std::fill(result->from_fallback.begin(), result->from_fallback.end(), 0);
+  const double theta = options_.min_provenance_accuracy;
+  const bool prefer_evaluated = options_.filter_by_coverage && round > 1;
+  ParallelFor(graph_.num_shards(), options_.num_workers, [&](size_t s) {
+    SweepShard(graph_.shard(s), theta, prefer_evaluated, result);
+  });
+}
+
+double FusionEngine::StageII(const FusionResult& result) {
+  // Same staleness guard as StageI: the cross-index may reference triples
+  // interned after `result` was Prepared.
+  KF_CHECK(result.probability.size() == dataset_.num_triples());
+  KF_CHECK(accuracy_.size() == graph_.num_provs());
+  const std::vector<uint32_t>& offsets = graph_.prov_offsets();
+  const std::vector<kb::TripleId>& triples = graph_.prov_triples();
+  const size_t num_provs = graph_.num_provs();
+  const size_t num_blocks = (num_provs + kProvBlock - 1) / kProvBlock;
+  std::vector<double> block_delta(num_blocks, 0.0);
+  ParallelFor(num_blocks, options_.num_workers, [&](size_t b) {
+    std::vector<float> values;
+    const size_t p_end = std::min((b + 1) * kProvBlock, num_provs);
+    for (size_t p = b * kProvBlock; p < p_end; ++p) {
+      values.clear();
+      for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+        kb::TripleId t = triples[i];
+        // Fallback probabilities are not data-driven; they must not
+        // reinforce accuracies.
+        if (!result.has_probability[t] || result.from_fallback[t]) continue;
+        values.push_back(static_cast<float>(result.probability[t]));
+      }
+      if (values.empty()) continue;
+      if (values.size() > options_.sample_cap) {
+        Rng rng(HashCombine(HashCombine(options_.seed, 0x52),
+                            static_cast<uint64_t>(p)));
+        mr::ReservoirSample(&values, options_.sample_cap, &rng);
+      }
+      double sum = 0.0;
+      for (float v : values) sum += v;
+      double a = std::clamp(sum / static_cast<double>(values.size()),
+                            options_.accuracy_floor,
+                            options_.accuracy_ceiling);
+      block_delta[b] =
+          std::max(block_delta[b], std::fabs(a - accuracy_[p]));
+      accuracy_[p] = a;
+      evaluated_[p] = 1;
+    }
+  });
+  double max_delta = 0.0;
+  for (double d : block_delta) max_delta = std::max(max_delta, d);
+  return max_delta;
+}
+
+FusionResult FusionEngine::Run(const std::vector<Label>* gold,
+                               const RoundCallback& callback) {
+  FusionResult result = Prepare(gold);
+  const bool is_vote = options_.method == Method::kVote;
+  const size_t max_rounds = is_vote ? 1 : options_.max_rounds;
+
+  for (size_t round = 1; round <= max_rounds; ++round) {
+    StageI(round, &result);
     result.num_rounds = round;
     if (callback) {
       callback(round, result.probability, result.has_probability);
     }
     if (is_vote) break;
-
-    // ---- Stage II: map by provenance, re-evaluate accuracies ----
-    struct StageIIOut {
-      uint32_t prov;
-      double accuracy;
-    };
-    using StageII = mr::Job<Claim, uint32_t, float, StageIIOut>;
-    std::vector<StageIIOut> accs = StageII::Run(
-        claims_,
-        [&](const Claim& c, const StageII::Emit& emit) {
-          // Fallback probabilities are not data-driven; they must not
-          // reinforce accuracies.
-          if (!result.has_probability[c.triple] ||
-              result.from_fallback[c.triple]) {
-            return;
-          }
-          emit(c.prov, static_cast<float>(result.probability[c.triple]));
-        },
-        [&](const uint32_t& prov, std::vector<float>& values,
-            const StageII::EmitOut& emit) {
-          if (values.size() > options_.sample_cap) {
-            Rng rng(HashCombine(HashCombine(options_.seed, 0x52), prov));
-            mr::ReservoirSample(&values, options_.sample_cap, &rng);
-          }
-          double sum = 0.0;
-          for (float v : values) sum += v;
-          emit(StageIIOut{prov,
-                          sum / static_cast<double>(values.size())});
-        },
-        mr_opts);
-
-    double max_delta = 0.0;
-    for (const StageIIOut& o : accs) {
-      double a = std::clamp(o.accuracy, options_.accuracy_floor,
-                            options_.accuracy_ceiling);
-      max_delta = std::max(max_delta, std::fabs(a - accuracy_[o.prov]));
-      accuracy_[o.prov] = a;
-      evaluated_[o.prov] = 1;
-    }
+    double max_delta = StageII(result);
     if (round > 1 && max_delta < options_.convergence_epsilon) break;
   }
 

@@ -1,18 +1,27 @@
-// The knowledge-fusion engine: the three-stage MapReduce architecture of
-// Fig. 8. Stage I partitions claims by data item and scores triples; Stage
-// II partitions by provenance and re-evaluates accuracies; the two iterate
-// up to R rounds (VOTE needs one round). Stage III deduplication is
-// inherent here because claims reference interned unique triples.
+// The knowledge-fusion engine: the three-stage architecture of Fig. 8 over
+// a sharded claim graph. Stage I sweeps the item-partitioned shards and
+// scores triples; Stage II sweeps the provenance cross-index and
+// re-evaluates accuracies; the two iterate up to R rounds (VOTE needs one
+// round). The item/provenance groupings are built ONCE
+// (fusion/claim_graph.h) and swept every round — no per-round shuffle, no
+// per-claim std::function dispatch. Stage III deduplication is inherent
+// because claims reference interned unique triples.
+//
+// Determinism contract: for a fixed dataset, options, and shard count the
+// result is bit-identical regardless of options.num_workers. Stage I
+// writes disjoint per-triple slots (each triple lives in exactly one item
+// group of one shard); Stage II reduces each provenance's claims in fixed
+// cross-index order within a fixed block decomposition.
 #ifndef KF_FUSION_ENGINE_H_
 #define KF_FUSION_ENGINE_H_
 
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/label.h"
 #include "extract/dataset.h"
-#include "fusion/claims.h"
+#include "fusion/claim_graph.h"
 #include "fusion/options.h"
 #include "fusion/scorer.h"
 
@@ -45,39 +54,57 @@ class FusionEngine {
       size_t round, const std::vector<double>& probability,
       const std::vector<uint8_t>& has_probability)>;
 
+  /// Builds the claim graph (options.num_shards shards; 0 = auto).
   FusionEngine(const extract::ExtractionDataset& dataset,
                const FusionOptions& options);
 
   /// Runs fusion. `gold` (triple labels) is required when
   /// options.init_accuracy_from_gold is set; otherwise it may be null.
+  /// Records appended to the dataset since construction (or the previous
+  /// Run) are ingested first via Refresh().
   FusionResult Run(const std::vector<Label>* gold = nullptr,
                    const RoundCallback& callback = RoundCallback());
 
-  // ---- introspection (valid after Run) ----
-  size_t num_provenances() const { return num_provs_; }
-  size_t num_claims() const { return claims_.size(); }
+  // ---- single-stage entry points ----
+  // Building blocks of Run(), exposed for the per-stage benchmarks and for
+  // callers that drive rounds themselves (streaming re-fusion). Call
+  // Prepare() before StageI/StageII.
+
+  /// Re-syncs the claim graph with the dataset, rebuilding only shards
+  /// touched by appended records. Returns the number of shards rebuilt.
+  size_t Refresh();
+  /// Ingests appended records, (re)initializes provenance accuracies, and
+  /// returns an empty result sized for the current dataset.
+  FusionResult Prepare(const std::vector<Label>* gold = nullptr);
+  /// One Stage I sweep: scores every qualified item group into `result`.
+  void StageI(size_t round, FusionResult* result);
+  /// One Stage II sweep: re-evaluates provenance accuracies against
+  /// `result`. Returns the largest accuracy change.
+  double StageII(const FusionResult& result);
+
+  // ---- introspection ----
+  const ClaimGraph& graph() const { return graph_; }
+  size_t num_provenances() const { return graph_.num_provs(); }
+  size_t num_claims() const { return graph_.num_claims(); }
   const std::vector<double>& provenance_accuracy() const { return accuracy_; }
   /// Number of claims of each provenance.
   const std::vector<uint32_t>& provenance_claims() const {
-    return prov_claims_;
+    return graph_.prov_claims();
   }
 
  private:
-  void BuildClaims();
   void InitAccuracies(const std::vector<Label>* gold);
+  void SweepShard(const ClaimGraph::Shard& shard, double theta,
+                  bool prefer_evaluated, FusionResult* result) const;
 
   const extract::ExtractionDataset& dataset_;
   FusionOptions options_;
+  ClaimGraph graph_;
+  std::unique_ptr<Scorer> scorer_;
 
-  std::vector<Claim> claims_;
-  size_t num_provs_ = 0;
-  std::vector<uint32_t> prov_claims_;
   std::vector<double> accuracy_;
   /// Whether the provenance's accuracy is data-driven (vs. still default).
   std::vector<uint8_t> evaluated_;
-  /// Data items where some triple has >= 2 supporting claims (round-1
-  /// coverage filter).
-  std::vector<uint8_t> item_has_multi_;
 };
 
 /// Convenience wrapper: construct + run.

@@ -1,6 +1,7 @@
 #include "fusion/options.h"
 
 #include "common/string_util.h"
+#include "fusion/claim_graph.h"
 
 namespace kf::fusion {
 
@@ -87,6 +88,15 @@ Status FusionOptions::Validate() const {
   if (init_accuracy_from_gold && gold_sample_rate == 0.0) {
     return Status::InvalidArgument(
         "init_accuracy_from_gold needs gold_sample_rate > 0");
+  }
+  if (num_shards > kMaxClaimGraphShards) {
+    return Status::InvalidArgument(
+        StrFormat("num_shards must be at most 2^20, got %zu", num_shards));
+  }
+  if (num_workers > 4096) {
+    return Status::InvalidArgument(
+        StrFormat("num_workers must be at most 4096, got %zu",
+                  num_workers));
   }
   if (!(accuracy_floor > 0.0) || !(accuracy_ceiling < 1.0) ||
       accuracy_floor >= accuracy_ceiling) {

@@ -52,7 +52,12 @@ struct FusionOptions {
   double gold_sample_rate = 1.0;
 
   // ---- execution ----
-  size_t num_workers = 0;  // 0 = hardware concurrency
+  size_t num_workers = 0;  // 0 = hardware concurrency (max 4096)
+  /// Claim-graph shards (hash partitions of the data items). 0 = auto from
+  /// the item count. Results are bit-identical for a fixed shard count
+  /// regardless of num_workers; changing the shard count may reorder
+  /// floating-point reductions.
+  size_t num_shards = 0;
   uint64_t seed = 7;       // reservoir sampling / gold sampling
 
   /// Clamp provenance accuracies away from 0/1 so log-odds stay finite.

@@ -1,12 +1,16 @@
-// Per-data-item truth scoring. The engine groups claims by data item
-// (Stage I of Fig. 8) and hands each group to a Scorer, which assigns every
-// distinct claimed triple a truthfulness probability. All three scorers
-// share the single-truth assumption of Section 4.1: probabilities of the
-// triples of one data item sum to at most 1, with the remainder assigned to
-// "some unobserved value".
+// Per-data-item truth scoring. Stage I of the engine sweeps the claim
+// graph's shards (fusion/claim_graph.h), hands each item group to a Scorer
+// as a lightweight columnar view, and scatters the resulting probabilities
+// into dense per-triple arrays. Because the view is non-owning, the same
+// scorer code runs unchanged over a full graph, a single shard, or an
+// assembled scratch buffer (filtered/sampled groups, tests). All three
+// scorers share the single-truth assumption of Section 4.1: probabilities
+// of the triples of one data item sum to at most 1, with the remainder
+// assigned to "some unobserved value".
 #ifndef KF_FUSION_SCORER_H_
 #define KF_FUSION_SCORER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -15,14 +19,33 @@
 
 namespace kf::fusion {
 
-/// One data item's claims after filtering and sampling. Parallel arrays:
-/// claim i says triple[i] with the claiming provenance's accuracy
-/// accuracy[i]. A (provenance, triple) pair appears at most once.
+/// One data item's claims after filtering and sampling, as a non-owning
+/// columnar view: claim i says triple[i] with the claiming provenance's
+/// accuracy accuracy[i]. A (provenance, triple) pair appears at most once.
 struct ItemClaims {
+  const kb::TripleId* triple = nullptr;
+  const double* accuracy = nullptr;
+  size_t count = 0;
+
+  size_t size() const { return count; }
+};
+
+/// Owning assembly buffer for an item group; reused across items by the
+/// shard sweep so steady-state scoring allocates nothing.
+struct ItemClaimsBuffer {
   std::vector<kb::TripleId> triple;
   std::vector<double> accuracy;
 
+  void clear() {
+    triple.clear();
+    accuracy.clear();
+  }
+  void push(kb::TripleId t, double a) {
+    triple.push_back(t);
+    accuracy.push_back(a);
+  }
   size_t size() const { return triple.size(); }
+  ItemClaims view() const { return {triple.data(), accuracy.data(), size()}; }
 };
 
 /// Output: (triple, probability) for each distinct triple in the group.

@@ -6,7 +6,7 @@ namespace kf::fusion {
 
 void VoteScorer::Score(const ItemClaims& claims, TripleProbs* out) const {
   std::unordered_map<kb::TripleId, uint32_t> votes;
-  for (kb::TripleId t : claims.triple) ++votes[t];
+  for (size_t i = 0; i < claims.size(); ++i) ++votes[claims.triple[i]];
   const double n = static_cast<double>(claims.size());
   for (const auto& [t, m] : votes) {
     out->emplace_back(t, static_cast<double>(m) / n);

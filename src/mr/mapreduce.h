@@ -1,6 +1,8 @@
-// A local, multi-threaded MapReduce engine. The knowledge-fusion engine
-// (fusion/engine.h) expresses the paper's three-stage architecture (Fig. 8)
-// as three Jobs over extraction records.
+// A local, multi-threaded MapReduce engine for general grouped workloads.
+// The fusion engine used to run the paper's three-stage architecture
+// (Fig. 8) as per-round Jobs; it now sweeps a pre-built ClaimGraph
+// (fusion/claim_graph.h) instead and shares this file's partitioning
+// primitives (mr/partitioner.h).
 //
 // Determinism: inputs are mapped in fixed-size blocks and per-partition
 // groups accumulate values in global input order, so for a fixed input and
@@ -17,6 +19,7 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "mr/partitioner.h"
 
 namespace kf::mr {
 
@@ -52,7 +55,10 @@ class Job {
     const size_t block_size = 8192;
     const size_t num_blocks = n == 0 ? 0 : (n + block_size - 1) / block_size;
 
-    // Map phase: each block fills its own per-partition buckets.
+    // Map phase: each block fills its own per-partition buckets. The
+    // partition assignment goes through the shared Partitioner so the
+    // shuffle layout matches the other sharded structures in the system.
+    const Partitioner partitioner(num_parts);
     std::vector<std::vector<std::vector<std::pair<K, V>>>> block_buckets(
         num_blocks);
     ParallelFor(num_blocks, options.num_workers, [&](size_t b) {
@@ -60,7 +66,7 @@ class Job {
       buckets.resize(num_parts);
       KeyHash hasher;
       Emit emit = [&](const K& key, V value) {
-        size_t p = hasher(key) % num_parts;
+        size_t p = partitioner.ShardOf(static_cast<uint64_t>(hasher(key)));
         buckets[p].emplace_back(key, std::move(value));
       };
       const size_t begin = b * block_size;
@@ -69,37 +75,29 @@ class Job {
     });
 
     // Shuffle + reduce phase: per partition, group values by key preserving
-    // first-seen key order, then reduce groups in that order.
-    std::vector<std::vector<O>> part_outputs(num_parts);
-    ParallelFor(num_parts, options.num_workers, [&](size_t p) {
-      std::unordered_map<K, size_t, KeyHash> key_index;
-      std::vector<K> keys;
-      std::vector<std::vector<V>> groups;
-      for (size_t b = 0; b < num_blocks; ++b) {
-        for (auto& [key, value] : block_buckets[b][p]) {
-          auto [it, inserted] = key_index.emplace(key, keys.size());
-          if (inserted) {
-            keys.push_back(key);
-            groups.emplace_back();
+    // first-seen key order, then reduce groups in that order. ReduceShards
+    // concatenates partition outputs in partition order, keeping the result
+    // independent of the worker count.
+    return ReduceShards<O>(
+        num_parts, options.num_workers, [&](size_t p, std::vector<O>* out) {
+          std::unordered_map<K, size_t, KeyHash> key_index;
+          std::vector<K> keys;
+          std::vector<std::vector<V>> groups;
+          for (size_t b = 0; b < num_blocks; ++b) {
+            for (auto& [key, value] : block_buckets[b][p]) {
+              auto [it, inserted] = key_index.emplace(key, keys.size());
+              if (inserted) {
+                keys.push_back(key);
+                groups.emplace_back();
+              }
+              groups[it->second].push_back(std::move(value));
+            }
           }
-          groups[it->second].push_back(std::move(value));
-        }
-      }
-      auto& out = part_outputs[p];
-      EmitOut emit_out = [&](O o) { out.push_back(std::move(o)); };
-      for (size_t g = 0; g < keys.size(); ++g) {
-        reduce(keys[g], groups[g], emit_out);
-      }
-    });
-
-    std::vector<O> outputs;
-    size_t total = 0;
-    for (const auto& po : part_outputs) total += po.size();
-    outputs.reserve(total);
-    for (auto& po : part_outputs) {
-      for (auto& o : po) outputs.push_back(std::move(o));
-    }
-    return outputs;
+          EmitOut emit_out = [&](O o) { out->push_back(std::move(o)); };
+          for (size_t g = 0; g < keys.size(); ++g) {
+            reduce(keys[g], groups[g], emit_out);
+          }
+        });
   }
 };
 

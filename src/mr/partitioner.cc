@@ -1,0 +1,13 @@
+#include "mr/partitioner.h"
+
+namespace kf::mr {
+
+size_t SuggestShards(size_t num_groups) {
+  // Aim for a few thousand groups per shard; clamp to a sane range.
+  size_t shards = num_groups / 4096;
+  if (shards < 16) return 16;
+  if (shards > 1024) return 1024;
+  return shards;
+}
+
+}  // namespace kf::mr

@@ -1,0 +1,72 @@
+// Sharding primitives shared by the MapReduce engine (mr/mapreduce.h) and
+// the sharded claim graph (fusion/claim_graph.h): a deterministic hash
+// partitioner, CSR offset construction, and a per-shard reduction that is
+// bit-reproducible regardless of worker count.
+#ifndef KF_MR_PARTITIONER_H_
+#define KF_MR_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/threadpool.h"
+
+namespace kf::mr {
+
+/// Assigns 64-bit keys to a fixed number of shards. The assignment depends
+/// only on (key, num_shards), never on worker count or insertion order, so
+/// any structure partitioned through it is reproducible by construction.
+class Partitioner {
+ public:
+  explicit Partitioner(size_t num_shards) : num_shards_(num_shards) {
+    KF_CHECK(num_shards > 0);
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  size_t ShardOf(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key) % num_shards_);
+  }
+
+ private:
+  size_t num_shards_ = 1;
+};
+
+/// Shard count for a structure expected to hold `num_groups` groups. Same
+/// policy as SuggestPartitions (a few thousand groups per shard, clamped),
+/// exposed separately so callers can tune them independently later.
+size_t SuggestShards(size_t num_groups);
+
+/// Prefix-sums per-bucket counts into CSR offsets (size counts.size() + 1).
+inline std::vector<uint32_t> CsrOffsets(const std::vector<uint32_t>& counts) {
+  std::vector<uint32_t> offsets(counts.size() + 1, 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    offsets[i + 1] = offsets[i] + counts[i];
+  }
+  return offsets;
+}
+
+/// Runs `fn(shard, &outputs)` for every shard on up to `num_workers`
+/// threads and concatenates the per-shard outputs in shard order. Each
+/// shard's output vector is private to its invocation, so the concatenated
+/// result is identical for any worker count.
+template <typename O, typename Fn>
+std::vector<O> ReduceShards(size_t num_shards, size_t num_workers, Fn&& fn) {
+  std::vector<std::vector<O>> per_shard(num_shards);
+  ParallelFor(num_shards, num_workers,
+              [&](size_t s) { fn(s, &per_shard[s]); });
+  std::vector<O> outputs;
+  size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  outputs.reserve(total);
+  for (auto& shard : per_shard) {
+    for (auto& o : shard) outputs.push_back(std::move(o));
+  }
+  return outputs;
+}
+
+}  // namespace kf::mr
+
+#endif  // KF_MR_PARTITIONER_H_

@@ -1,0 +1,158 @@
+#include "fusion/claim_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "fusion/claims.h"
+#include "synth/corpus.h"
+
+namespace kf::fusion {
+namespace {
+
+const synth::SynthCorpus& SmallCorpus() {
+  static const synth::SynthCorpus& corpus = *new synth::SynthCorpus(
+      synth::GenerateCorpus(synth::SynthConfig::Small()));
+  return corpus;
+}
+
+using ClaimTuple = std::tuple<kb::DataItemId, kb::TripleId, uint32_t, float>;
+
+std::multiset<ClaimTuple> GraphClaims(const ClaimGraph& graph) {
+  std::multiset<ClaimTuple> out;
+  graph.ForEachClaim([&](kb::DataItemId item, kb::TripleId triple,
+                         uint32_t prov, float conf) {
+    out.insert({item, triple, prov, conf});
+  });
+  return out;
+}
+
+TEST(ClaimGraphTest, MatchesClaimSetOnSynthCorpus) {
+  const auto& corpus = SmallCorpus();
+  auto gran = extract::Granularity::ExtractorUrl();
+  ClaimSet set = BuildClaimSet(corpus.dataset, gran);
+  ClaimGraph graph(corpus.dataset, gran, /*num_shards=*/8);
+
+  EXPECT_EQ(graph.num_claims(), set.claims.size());
+  EXPECT_EQ(graph.num_provs(), set.num_provs);
+  EXPECT_EQ(graph.num_records_indexed(), corpus.dataset.num_records());
+  ASSERT_EQ(graph.prov_claims().size(), set.prov_claims.size());
+  EXPECT_EQ(graph.prov_claims(), set.prov_claims);
+
+  // Same deduplicated claim multiset, including merged confidences. The
+  // prov interner visits records in the same global order as BuildClaimSet,
+  // so dense prov ids agree exactly.
+  std::multiset<ClaimTuple> expected;
+  for (size_t i = 0; i < set.claims.size(); ++i) {
+    const Claim& c = set.claims[i];
+    expected.insert({c.item, c.triple, c.prov, set.confidence[i]});
+  }
+  EXPECT_EQ(GraphClaims(graph), expected);
+}
+
+TEST(ClaimGraphTest, ShardsPartitionItemsDisjointly) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorUrl(),
+                   /*num_shards=*/16);
+  std::set<kb::DataItemId> seen;
+  for (size_t s = 0; s < graph.num_shards(); ++s) {
+    const ClaimGraph::Shard& sh = graph.shard(s);
+    ASSERT_EQ(sh.item_offsets.size(), sh.num_items() + 1);
+    ASSERT_EQ(sh.item_multi.size(), sh.num_items());
+    EXPECT_EQ(sh.item_offsets.back(), sh.num_claims());
+    for (kb::DataItemId item : sh.items) {
+      EXPECT_EQ(graph.shard_of_item(item), s);
+      EXPECT_TRUE(seen.insert(item).second) << "item in two shards";
+    }
+  }
+}
+
+TEST(ClaimGraphTest, ProvCrossIndexCoversEveryClaim) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorSite(),
+                   /*num_shards=*/8);
+  ASSERT_EQ(graph.prov_offsets().size(), graph.num_provs() + 1);
+  EXPECT_EQ(graph.prov_offsets().back(), graph.num_claims());
+  EXPECT_EQ(graph.prov_triples().size(), graph.num_claims());
+  // Cross-index multiset == shard-column multiset, per provenance.
+  std::vector<std::multiset<kb::TripleId>> from_shards(graph.num_provs());
+  graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple, uint32_t prov,
+                         float) { from_shards[prov].insert(triple); });
+  for (size_t p = 0; p < graph.num_provs(); ++p) {
+    std::multiset<kb::TripleId> from_index(
+        graph.prov_triples().begin() + graph.prov_offsets()[p],
+        graph.prov_triples().begin() + graph.prov_offsets()[p + 1]);
+    ASSERT_EQ(from_index, from_shards[p]) << "prov " << p;
+  }
+}
+
+TEST(ClaimGraphTest, ItemMultiFlagsMatchSupportCounts) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorUrl(),
+                   /*num_shards=*/8);
+  for (size_t s = 0; s < graph.num_shards(); ++s) {
+    const ClaimGraph::Shard& sh = graph.shard(s);
+    for (size_t g = 0; g < sh.num_items(); ++g) {
+      std::map<kb::TripleId, int> support;
+      bool multi = false;
+      for (uint32_t i = sh.item_offsets[g]; i < sh.item_offsets[g + 1];
+           ++i) {
+        if (++support[sh.claim_triple[i]] >= 2) multi = true;
+      }
+      ASSERT_EQ(sh.item_multi[g] != 0, multi);
+    }
+  }
+}
+
+bool ShardsEqual(const ClaimGraph::Shard& a, const ClaimGraph::Shard& b) {
+  return a.records == b.records && a.items == b.items &&
+         a.item_offsets == b.item_offsets && a.item_multi == b.item_multi &&
+         a.claim_triple == b.claim_triple && a.claim_prov == b.claim_prov &&
+         a.claim_confidence == b.claim_confidence;
+}
+
+TEST(ClaimGraphTest, IncrementalUpdateMatchesFullBuild) {
+  const auto& corpus = SmallCorpus();
+  auto gran = extract::Granularity::ExtractorUrl();
+  const size_t total = corpus.dataset.num_records();
+  const size_t base = total / 2;
+
+  ClaimGraph full(corpus.dataset, gran, /*num_shards=*/8);
+  ClaimGraph incr(corpus.dataset, gran, /*num_shards=*/8, /*num_workers=*/1,
+                  /*num_records=*/base);
+  EXPECT_EQ(incr.num_records_indexed(), base);
+  size_t rebuilt = incr.Update(corpus.dataset);
+  EXPECT_GT(rebuilt, 0u);
+  EXPECT_LE(rebuilt, incr.num_shards());
+
+  ASSERT_EQ(incr.num_shards(), full.num_shards());
+  for (size_t s = 0; s < full.num_shards(); ++s) {
+    ASSERT_TRUE(ShardsEqual(incr.shard(s), full.shard(s))) << "shard " << s;
+  }
+  EXPECT_EQ(incr.prov_offsets(), full.prov_offsets());
+  EXPECT_EQ(incr.prov_triples(), full.prov_triples());
+  EXPECT_EQ(incr.prov_claims(), full.prov_claims());
+}
+
+TEST(ClaimGraphTest, EmptyUpdateRebuildsNothing) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorUrl(),
+                   /*num_shards=*/8);
+  EXPECT_EQ(graph.Update(corpus.dataset), 0u);
+}
+
+TEST(ClaimGraphTest, UntouchedShardsAreNotRebuilt) {
+  const auto& corpus = SmallCorpus();
+  auto gran = extract::Granularity::ExtractorUrl();
+  const size_t total = corpus.dataset.num_records();
+  // Appending a single record touches exactly one shard.
+  ClaimGraph graph(corpus.dataset, gran, /*num_shards=*/32, /*num_workers=*/1,
+                   /*num_records=*/total - 1);
+  EXPECT_EQ(graph.Update(corpus.dataset), 1u);
+}
+
+}  // namespace
+}  // namespace kf::fusion

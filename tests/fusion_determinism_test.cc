@@ -1,0 +1,109 @@
+// The engine's determinism contract: for a fixed input, options, and shard
+// count, the FusionResult is bit-identical regardless of the worker count.
+// Stage I writes disjoint per-triple slots, Stage II reduces each
+// provenance in fixed cross-index order, and no decomposition depends on
+// the worker count.
+#include <gtest/gtest.h>
+
+#include "eval/gold_standard.h"
+#include "fusion/engine.h"
+#include "synth/corpus.h"
+
+namespace kf::fusion {
+namespace {
+
+struct Workload {
+  synth::SynthCorpus corpus;
+  std::vector<Label> labels;
+};
+
+const Workload& GetWorkload() {
+  static Workload* w = [] {
+    auto* x = new Workload{
+        synth::GenerateCorpus(synth::SynthConfig::Small()), {}};
+    x->labels = eval::BuildGoldStandard(x->corpus.dataset, x->corpus.freebase);
+    return x;
+  }();
+  return *w;
+}
+
+struct Capture {
+  FusionResult result;
+  std::vector<double> accuracies;
+  std::vector<uint32_t> prov_claims;
+};
+
+Capture RunWith(FusionOptions opts, size_t workers,
+                const std::vector<Label>* gold = nullptr) {
+  opts.num_workers = workers;
+  FusionEngine engine(GetWorkload().corpus.dataset, opts);
+  Capture c;
+  c.result = engine.Run(gold);
+  c.accuracies = engine.provenance_accuracy();
+  c.prov_claims = engine.provenance_claims();
+  return c;
+}
+
+void ExpectBitIdentical(const Capture& a, const Capture& b) {
+  ASSERT_EQ(a.result.probability.size(), b.result.probability.size());
+  // Element-wise == on doubles: any reordering of a floating-point
+  // reduction would show up here.
+  EXPECT_EQ(a.result.probability, b.result.probability);
+  EXPECT_EQ(a.result.has_probability, b.result.has_probability);
+  EXPECT_EQ(a.result.from_fallback, b.result.from_fallback);
+  EXPECT_EQ(a.result.num_rounds, b.result.num_rounds);
+  EXPECT_EQ(a.result.num_provenances, b.result.num_provenances);
+  EXPECT_EQ(a.result.num_unevaluated_provenances,
+            b.result.num_unevaluated_provenances);
+  EXPECT_EQ(a.result.Coverage(), b.result.Coverage());
+  EXPECT_EQ(a.accuracies, b.accuracies);
+  EXPECT_EQ(a.prov_claims, b.prov_claims);
+}
+
+class MethodSweep : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodSweep, IdenticalAcrossWorkerCounts) {
+  FusionOptions opts;
+  opts.method = GetParam();
+  opts.num_shards = 8;  // fixed: the contract is per shard count
+  ExpectBitIdentical(RunWith(opts, 1), RunWith(opts, 4));
+}
+
+TEST_P(MethodSweep, StableAcrossRepeatedRuns) {
+  FusionOptions opts;
+  opts.method = GetParam();
+  opts.num_shards = 8;
+  ExpectBitIdentical(RunWith(opts, 4), RunWith(opts, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodSweep,
+                         ::testing::Values(Method::kVote, Method::kAccu,
+                                           Method::kPopAccu));
+
+TEST(DeterminismTest, FilteredStackIdenticalAcrossWorkerCounts) {
+  // The full unsupervised refinement stack exercises the coverage filter,
+  // the accuracy filter with fallback, and multi-round re-evaluation.
+  FusionOptions opts = FusionOptions::PopAccuPlusUnsup();
+  opts.num_shards = 8;
+  ExpectBitIdentical(RunWith(opts, 1), RunWith(opts, 4));
+}
+
+TEST(DeterminismTest, GoldInitializedIdenticalAcrossWorkerCounts) {
+  FusionOptions opts = FusionOptions::PopAccuPlus();
+  opts.num_shards = 8;
+  opts.gold_sample_rate = 0.5;  // also exercises the hash-sampled gold path
+  const std::vector<Label>* gold = &GetWorkload().labels;
+  ExpectBitIdentical(RunWith(opts, 1, gold), RunWith(opts, 4, gold));
+}
+
+TEST(DeterminismTest, SampleCapReservoirIdenticalAcrossWorkerCounts) {
+  // Force the reservoir path: per-group sampling is seeded by (seed, item)
+  // and (seed, prov), never by thread identity.
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.num_shards = 8;
+  opts.sample_cap = 3;
+  ExpectBitIdentical(RunWith(opts, 1), RunWith(opts, 4));
+}
+
+}  // namespace
+}  // namespace kf::fusion

@@ -10,17 +10,17 @@ namespace kf::fusion {
 namespace {
 
 std::map<kb::TripleId, double> Score(const Scorer& scorer,
-                                     const ItemClaims& claims) {
+                                     const ItemClaimsBuffer& claims) {
   TripleProbs out;
-  scorer.Score(claims, &out);
+  scorer.Score(claims.view(), &out);
   std::map<kb::TripleId, double> result;
   for (const auto& [t, p] : out) result[t] = p;
   return result;
 }
 
-ItemClaims Claims(std::vector<kb::TripleId> triples,
-                  std::vector<double> accuracies) {
-  ItemClaims c;
+ItemClaimsBuffer Claims(std::vector<kb::TripleId> triples,
+                        std::vector<double> accuracies) {
+  ItemClaimsBuffer c;
   c.triple = std::move(triples);
   c.accuracy = std::move(accuracies);
   return c;
@@ -129,13 +129,13 @@ TEST(PopAccuTest, ProbabilitiesWithinUnitInterval) {
   Rng rng(3);
   for (int trial = 0; trial < 200; ++trial) {
     size_t n = 1 + rng.NextBelow(20);
-    ItemClaims claims;
+    ItemClaimsBuffer claims;
     for (size_t i = 0; i < n; ++i) {
-      claims.triple.push_back(static_cast<kb::TripleId>(rng.NextBelow(5)));
-      claims.accuracy.push_back(rng.Uniform(0.01, 0.99));
+      claims.push(static_cast<kb::TripleId>(rng.NextBelow(5)),
+                  rng.Uniform(0.01, 0.99));
     }
     TripleProbs out;
-    pop.Score(claims, &out);
+    pop.Score(claims.view(), &out);
     double sum = 0.0;
     for (const auto& [t, p] : out) {
       EXPECT_GE(p, 0.0);
@@ -161,17 +161,12 @@ TEST_P(ScorerMonotonicity, MoreSupportNeverLowersProbability) {
   // Fixed rival with 2 claims; grow support for triple 1.
   double prev = -1.0;
   for (int m = 1; m <= 8; ++m) {
-    ItemClaims claims;
-    for (int i = 0; i < m; ++i) {
-      claims.triple.push_back(1);
-      claims.accuracy.push_back(accuracy);
-    }
-    claims.triple.push_back(2);
-    claims.accuracy.push_back(accuracy);
-    claims.triple.push_back(2);
-    claims.accuracy.push_back(accuracy);
+    ItemClaimsBuffer claims;
+    for (int i = 0; i < m; ++i) claims.push(1, accuracy);
+    claims.push(2, accuracy);
+    claims.push(2, accuracy);
     TripleProbs out;
-    scorer->Score(claims, &out);
+    scorer->Score(claims.view(), &out);
     double p1 = 0;
     for (const auto& [t, p] : out) {
       if (t == 1) p1 = p;

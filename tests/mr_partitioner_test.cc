@@ -1,0 +1,83 @@
+#include "mr/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace kf::mr {
+namespace {
+
+TEST(PartitionerTest, AssignmentInRangeAndStable) {
+  Partitioner p(7);
+  EXPECT_EQ(p.num_shards(), 7u);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    size_t s = p.ShardOf(key);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, p.ShardOf(key));  // pure function of the key
+  }
+}
+
+TEST(PartitionerTest, SpreadsSequentialKeys) {
+  // Dense sequential ids (the common DataItemId case) must not pile into a
+  // few shards; Mix64 avalanches them first.
+  Partitioner p(16);
+  std::vector<size_t> counts(16, 0);
+  for (uint64_t key = 0; key < 16000; ++key) ++counts[p.ShardOf(key)];
+  for (size_t c : counts) {
+    EXPECT_GT(c, 500u);
+    EXPECT_LT(c, 1500u);
+  }
+}
+
+TEST(PartitionerTest, SingleShardTakesEverything) {
+  Partitioner p(1);
+  for (uint64_t key = 0; key < 100; ++key) EXPECT_EQ(p.ShardOf(key), 0u);
+}
+
+TEST(CsrOffsetsTest, PrefixSums) {
+  std::vector<uint32_t> offsets = CsrOffsets({3, 0, 2, 1});
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 3u);
+  EXPECT_EQ(offsets[2], 3u);
+  EXPECT_EQ(offsets[3], 5u);
+  EXPECT_EQ(offsets[4], 6u);
+}
+
+TEST(CsrOffsetsTest, Empty) {
+  std::vector<uint32_t> offsets = CsrOffsets({});
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 0u);
+}
+
+TEST(ReduceShardsTest, ConcatenatesInShardOrder) {
+  auto out = ReduceShards<int>(4, 2, [](size_t s, std::vector<int>* o) {
+    o->push_back(static_cast<int>(s) * 10);
+    o->push_back(static_cast<int>(s) * 10 + 1);
+  });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 10, 11, 20, 21, 30, 31}));
+}
+
+TEST(ReduceShardsTest, IdenticalAcrossWorkerCounts) {
+  auto run = [](size_t workers) {
+    return ReduceShards<uint64_t>(
+        64, workers, [](size_t s, std::vector<uint64_t>* o) {
+          // Unequal shard workloads so scheduling actually varies.
+          for (size_t i = 0; i < (s % 7) + 1; ++i) {
+            o->push_back(Mix64(s * 1000 + i));
+          }
+        });
+  };
+  auto base = run(1);
+  EXPECT_EQ(base, run(4));
+  EXPECT_EQ(base, run(16));
+}
+
+TEST(SuggestShardsTest, Clamped) {
+  EXPECT_EQ(SuggestShards(0), 16u);
+  EXPECT_EQ(SuggestShards(1 << 20), (1u << 20) / 4096);
+  EXPECT_EQ(SuggestShards(100000000), 1024u);
+}
+
+}  // namespace
+}  // namespace kf::mr
