@@ -3,8 +3,6 @@
 // to POPACCU+ on the same population.
 #include "bench/bench_util.h"
 #include "eval/report.h"
-#include "fusion/engine.h"
-#include "fusion/ext/extensions.h"
 
 using namespace kf;
 
@@ -41,7 +39,12 @@ int main() {
     const auto& item = dataset.item(dataset.triple(t).item);
     if (!ontology.predicate(item.predicate).functional) nonfunc[t] = 1;
   }
-  auto ltm = fusion::RunLatentTruth(dataset, fusion::LatentTruthOptions());
+  // LatentTruth at its documented fine granularity, via the registry.
+  fusion::FusionOptions ltm_opts;
+  ltm_opts.method_name = "latent_truth";
+  ltm_opts.granularity =
+      extract::Granularity::ExtractorSitePredicatePattern();
+  auto ltm = bench::RunFusion(dataset, ltm_opts);
   // Recall of true triples at p > 0.5 on multi-truth items is where the
   // single-truth assumption hurts (65% of the paper's false negatives).
   auto recall_at_half = [&](const fusion::FusionResult& r,
@@ -73,9 +76,10 @@ int main() {
     const auto& item = dataset.item(dataset.triple(t).item);
     if (ontology.predicate(item.predicate).hierarchical_values) hier[t] = 1;
   }
-  auto hier_result = fusion::HierarchyAwareFuse(
-      dataset, w.corpus.world.hierarchy,
-      fusion::FusionOptions::PopAccuPlus(), &w.labels);
+  fusion::FusionOptions hier_opts = fusion::FusionOptions::PopAccuPlus();
+  hier_opts.method_name = "hierarchy";
+  auto hier_result = bench::RunFusion(dataset, hier_opts, &w.labels,
+                                      &w.corpus.world.hierarchy);
   std::printf("\n5.4 hierarchy-aware fusion (hierarchical-value predicates):\n");
   TextTable t54({"model", "WDev", "AUC-PR", "recall@p>.5 (true triples)"});
   auto plus_h = EvaluateOn("POPACCU+", plus, w.labels, hier);
@@ -89,8 +93,9 @@ int main() {
   t54.Print();
 
   // ---- 5.5 confidence-weighted fusion ----
-  fusion::ConfidenceWeightedOptions cw_opts;
-  auto cw = fusion::RunConfidenceWeighted(dataset, cw_opts, w.labels);
+  fusion::FusionOptions cw_opts = fusion::FusionOptions::PopAccuPlusUnsup();
+  cw_opts.method_name = "confidence_weighted";
+  auto cw = bench::RunFusion(dataset, cw_opts, &w.labels);
   std::printf("\n5.5 confidence-weighted fusion (all triples):\n");
   TextTable t55({"model", "WDev", "AUC-PR"});
   auto plus_all = EvaluateOn("POPACCU+", plus, w.labels, all);
@@ -102,8 +107,7 @@ int main() {
   t55.Print();
 
   // ---- 5.1 source/extractor separation ----
-  auto se = fusion::RunSourceExtractor(dataset,
-                                       fusion::SourceExtractorOptions());
+  auto se = bench::RunMethod("source_extractor", dataset);
   std::printf("\n5.1 source/extractor separation (all triples, "
               "unsupervised):\n");
   TextTable t51({"model", "WDev", "AUC-PR"});

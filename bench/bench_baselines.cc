@@ -5,8 +5,6 @@
 // calibrated.
 #include "bench/bench_util.h"
 #include "eval/report.h"
-#include "fusion/baselines/baselines.h"
-#include "fusion/engine.h"
 
 using namespace kf;
 
@@ -25,16 +23,14 @@ int main() {
                   ToFixed(rep.auc_pr, 3)});
   };
 
-  add("TruthFinder",
-      fusion::RunTruthFinder(w.corpus.dataset, fusion::TruthFinderOptions()));
-  add("2-Estimates",
-      fusion::RunTwoEstimates(w.corpus.dataset,
-                              fusion::TwoEstimatesOptions()));
-  add("Investment",
-      fusion::RunInvestment(w.corpus.dataset, fusion::InvestmentOptions()));
+  // The baselines run with their documented per-method defaults; the
+  // shared fields (granularity, rounds, workers, shards) come from the
+  // default FusionOptions, which match the old per-struct defaults.
+  add("TruthFinder", bench::RunMethod("truthfinder", w.corpus.dataset));
+  add("2-Estimates", bench::RunMethod("two_estimates", w.corpus.dataset));
+  add("Investment", bench::RunMethod("investment", w.corpus.dataset));
   add("PooledInvestment",
-      fusion::RunPooledInvestment(w.corpus.dataset,
-                                  fusion::PooledInvestmentOptions()));
+      bench::RunMethod("pooled_investment", w.corpus.dataset));
   add("VOTE", bench::RunFusion(w.corpus.dataset, fusion::FusionOptions::Vote(),
                            &w.labels));
   add("POPACCU", bench::RunFusion(w.corpus.dataset,

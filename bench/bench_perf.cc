@@ -172,6 +172,70 @@ void BM_IncrementalAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalAppend)->Arg(1)->Arg(1024)->Arg(16384);
 
+// ---- streaming warm-start re-fusion (Session::Refuse) ----
+
+// Rounds and ms to reconverge after a 1-record append. _Warm seeds Stage I
+// from the previous run's accuracies via Session::Refuse(); _Cold re-runs
+// all rounds from scratch on the combined dataset. ACCU at a scale whose
+// accuracy iteration actually reaches convergence_epsilon (POPACCU and
+// very large corpora limit-cycle under the max-delta criterion and run to
+// the round cap, hiding the warm-start win). The "rounds" counter is the
+// headline: warm reconvergence takes ~2 rounds vs ~50 cold.
+fusion::FusionOptions StreamingAccuOpts() {
+  fusion::FusionOptions opts;
+  opts.method = fusion::Method::kAccu;
+  opts.max_rounds = 100;
+  opts.convergence_epsilon = 1e-3;
+  opts.num_shards = 64;
+  opts.num_workers = 1;
+  bench::ValidateOrExit(opts);
+  return opts;
+}
+
+void BM_RefuseAfterAppend1_Warm(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(0.25);
+  const size_t base = corpus.dataset.num_records() - 1;
+  double rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    kf::Session session(extract::CloneRecordPrefix(corpus.dataset, base));
+    auto cold = session.Fuse(StreamingAccuOpts());
+    KF_CHECK(cold.ok());
+    auto batch =
+        extract::ReinternTail(corpus.dataset, base,
+                              &session.mutable_dataset());
+    state.ResumeTiming();
+    KF_CHECK_OK(session.Append(batch));
+    auto warm = session.Refuse();
+    KF_CHECK(warm.ok());
+    rounds = static_cast<double>(warm->num_rounds);
+    benchmark::DoNotOptimize(warm);
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_RefuseAfterAppend1_Warm)->Unit(benchmark::kMillisecond);
+
+void BM_RefuseAfterAppend1_Cold(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(0.25);
+  const size_t base = corpus.dataset.num_records() - 1;
+  double rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    kf::Session session(extract::CloneRecordPrefix(corpus.dataset, base));
+    auto batch =
+        extract::ReinternTail(corpus.dataset, base,
+                              &session.mutable_dataset());
+    state.ResumeTiming();
+    KF_CHECK_OK(session.Append(batch));
+    auto cold = session.Fuse(StreamingAccuOpts());
+    KF_CHECK(cold.ok());
+    rounds = static_cast<double>(cold->num_rounds);
+    benchmark::DoNotOptimize(cold);
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_RefuseAfterAppend1_Cold)->Unit(benchmark::kMillisecond);
+
 // ---- end-to-end fusion ----
 
 void BM_FusePopAccu(benchmark::State& state) {

@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "eval/gold_standard.h"
 #include "fusion/engine.h"
+#include "kf/session.h"
 #include "synth/corpus.h"
 
 namespace kf::bench {
@@ -33,14 +34,36 @@ inline void ValidateOrExit(const fusion::FusionOptions& options) {
   }
 }
 
-/// Validated construct-and-run; the bench drivers' replacement for calling
-/// fusion::Fuse directly.
+/// One validated batch fusion through the public kf::Session facade — the
+/// bench drivers' single entry point for every registry method (engine
+/// methods via options.method, everything else via options.method_name).
+/// Exits with the Status on invalid options or unmet method requirements.
 inline fusion::FusionResult RunFusion(
     const extract::ExtractionDataset& dataset,
     const fusion::FusionOptions& options,
-    const std::vector<Label>* gold = nullptr) {
-  ValidateOrExit(options);
-  return fusion::Fuse(dataset, options, gold);
+    const std::vector<Label>* gold = nullptr,
+    const kb::ValueHierarchy* hierarchy = nullptr) {
+  Session session = Session::Borrow(dataset);
+  session.SetHierarchy(hierarchy);
+  Result<fusion::FusionResult> result = session.Fuse(options, gold);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fusion failed (%s): %s\n",
+                 options.ToString().c_str(),
+                 result.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(result).value();
+}
+
+/// RunFusion with just a registry method name over default options.
+inline fusion::FusionResult RunMethod(
+    const std::string& method_name,
+    const extract::ExtractionDataset& dataset,
+    const std::vector<Label>* gold = nullptr,
+    const kb::ValueHierarchy* hierarchy = nullptr) {
+  fusion::FusionOptions options;
+  options.method_name = method_name;
+  return RunFusion(dataset, options, gold, hierarchy);
 }
 
 struct Workload {

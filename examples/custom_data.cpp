@@ -11,8 +11,8 @@
 #include "common/interner.h"
 #include "common/string_util.h"
 #include "extract/dataset.h"
-#include "fusion/engine.h"
 #include "kb/value.h"
+#include "kf/session.h"
 
 using namespace kf;
 
@@ -108,16 +108,25 @@ int main() {
   dataset.SetCounts(sites.size(), extractors.size(), predicates.size());
 
   // Unsupervised fusion at (Extractor, Site) granularity — sensible for a
-  // corpus this small.
-  fusion::FusionOptions options = fusion::FusionOptions::PopAccu();
+  // corpus this small. The session owns the dataset from here on; methods
+  // are picked by registry name.
+  Session session(std::move(dataset));
+  fusion::FusionOptions options;
+  options.method_name = "popaccu";
   options.granularity = extract::Granularity::ExtractorSite();
-  fusion::FusionResult result = fusion::Fuse(dataset, options);
+  Result<fusion::FusionResult> fused = session.Fuse(options);
+  if (!fused.ok()) {
+    std::fprintf(stderr, "fusion failed: %s\n",
+                 fused.status().ToString().c_str());
+    return 1;
+  }
+  const fusion::FusionResult& result = *fused;
 
   std::printf("%-12s %-14s %-16s %s\n", "subject", "predicate", "object",
               "p(true)");
-  for (kb::TripleId t = 0; t < dataset.num_triples(); ++t) {
-    const extract::TripleInfo& info = dataset.triple(t);
-    const kb::DataItem& item = dataset.item(info.item);
+  for (kb::TripleId t = 0; t < session.dataset().num_triples(); ++t) {
+    const extract::TripleInfo& info = session.dataset().triple(t);
+    const kb::DataItem& item = session.dataset().item(info.item);
     std::printf("%-12s %-14s %-16s %.3f\n",
                 entities.Get(item.subject).c_str(),
                 predicates.Get(item.predicate).c_str(),

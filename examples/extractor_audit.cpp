@@ -10,16 +10,24 @@
 #include <vector>
 
 #include "eval/gold_standard.h"
-#include "fusion/engine.h"
+#include "kf/session.h"
 #include "synth/corpus.h"
 
 using namespace kf;
 
 int main() {
   synth::SynthCorpus corpus = synth::GenerateCorpus(synth::SynthConfig());
-  // Fully unsupervised: no gold standard involved in fusion.
-  fusion::FusionResult result = fusion::Fuse(
-      corpus.dataset, fusion::FusionOptions::PopAccuPlusUnsup());
+  // Fully unsupervised: no gold standard involved in fusion. Batch-only,
+  // so the session borrows the dataset.
+  Session session = Session::Borrow(corpus.dataset);
+  Result<fusion::FusionResult> fused =
+      session.Fuse(fusion::FusionOptions::PopAccuPlusUnsup());
+  if (!fused.ok()) {
+    std::fprintf(stderr, "fusion failed: %s\n",
+                 fused.status().ToString().c_str());
+    return 1;
+  }
+  const fusion::FusionResult& result = *fused;
 
   // ---- rank extractors by the mean inferred probability of their
   //      unique triples ----

@@ -1,6 +1,7 @@
-// Command-line fusion over a TSV of extractions:
+// Command-line fusion over a TSV of extractions, through the kf::Session
+// facade — any method the registry knows can run here:
 //
-//   ./fuse_tsv INPUT.tsv [OUTPUT.tsv] [--method=vote|accu|popaccu]
+//   ./fuse_tsv INPUT.tsv [OUTPUT.tsv] [--method=NAME]
 //              [--granularity=url|site|site_pred|site_pred_pattern]
 //              [--theta=0.25] [--filter-by-coverage]
 //              [--workers=N] [--shards=N]
@@ -15,7 +16,8 @@
 
 #include "common/string_util.h"
 #include "extract/tsv_io.h"
-#include "fusion/engine.h"
+#include "fusion/registry.h"
+#include "kf/session.h"
 
 using namespace kf;
 
@@ -31,12 +33,13 @@ constexpr const char* kDemo =
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: fuse_tsv [INPUT.tsv] [OUTPUT.tsv] "
-               "[--method=vote|accu|popaccu]\n"
+               "usage: fuse_tsv [INPUT.tsv] [OUTPUT.tsv] [--method=NAME]\n"
                "                [--granularity=url|site|site_pred|"
                "site_pred_pattern]\n"
                "                [--theta=X] [--filter-by-coverage]\n"
-               "                [--workers=N] [--shards=N]\n");
+               "                [--workers=N] [--shards=N]\n"
+               "methods: %s\n",
+               fusion::Registry::NamesCsv().c_str());
 }
 
 }  // namespace
@@ -49,17 +52,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (StartsWith(arg, "--method=")) {
-      std::string m = arg.substr(9);
-      if (m == "vote") {
-        options.method = fusion::Method::kVote;
-      } else if (m == "accu") {
-        options.method = fusion::Method::kAccu;
-      } else if (m == "popaccu") {
-        options.method = fusion::Method::kPopAccu;
-      } else {
-        Usage();
-        return 2;
-      }
+      // Validated below against the registry, which reports the full list
+      // of valid names on a typo.
+      options.method_name = arg.substr(9);
     } else if (StartsWith(arg, "--granularity=")) {
       std::string g = arg.substr(14);
       if (g == "url") {
@@ -121,6 +116,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Rejects out-of-range knobs AND unknown --method names (the error
+  // lists every registered method).
   Status valid = options.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
@@ -139,9 +136,16 @@ int main(int argc, char** argv) {
                corpus->dataset.num_records(), corpus->dataset.num_triples(),
                options.ToString().c_str());
 
-  fusion::FusionResult result = fusion::Fuse(corpus->dataset, options);
-  std::string tsv = extract::WriteResultsTsv(*corpus, result.probability,
-                                             result.has_probability);
+  Session session = Session::Borrow(corpus->dataset);
+  Result<fusion::FusionResult> result = session.Fuse(options);
+  if (!result.ok()) {
+    // E.g. a method that needs gold labels or a value hierarchy, which a
+    // bare TSV cannot provide.
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::string tsv = extract::WriteResultsTsv(*corpus, result->probability,
+                                             result->has_probability);
   if (output.empty()) {
     std::fwrite(tsv.data(), 1, tsv.size(), stdout);
   } else {

@@ -8,8 +8,8 @@
 #include <cstdlib>
 
 #include "eval/gold_standard.h"
-#include "fusion/engine.h"
 #include "kb/knowledge_base.h"
+#include "kf/session.h"
 #include "synth/corpus.h"
 
 using namespace kf;
@@ -23,8 +23,15 @@ int main(int argc, char** argv) {
   std::printf("reference KB: %zu triples over %zu data items\n",
               corpus.freebase.num_triples(), corpus.freebase.num_items());
 
-  fusion::FusionResult result = fusion::Fuse(
-      corpus.dataset, fusion::FusionOptions::PopAccuPlus(), &labels);
+  Session session = Session::Borrow(corpus.dataset);
+  Result<fusion::FusionResult> fused =
+      session.Fuse(fusion::FusionOptions::PopAccuPlus(), &labels);
+  if (!fused.ok()) {
+    std::fprintf(stderr, "fusion failed: %s\n",
+                 fused.status().ToString().c_str());
+    return 1;
+  }
+  const fusion::FusionResult& result = *fused;
 
   // Candidate novelties: triples absent from the reference KB. "83% of the
   // extracted triples are not in Freebase" in the paper; the interesting

@@ -26,10 +26,10 @@ fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
-  # One pass over the claim-graph benches so perf binaries cannot rot in
-  # CI; min_time is tiny because only liveness matters here.
+  # One pass over the claim-graph + streaming benches so perf binaries
+  # cannot rot in CI; min_time is tiny because only liveness matters here.
   exec "${BIN}" \
-    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims)' \
+    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims|RefuseAfterAppend1)' \
     --benchmark_min_time=0.01 "$@"
 fi
 

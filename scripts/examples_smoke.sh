@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Public-API smoke: build and run the quickstart (batch + evaluation +
+# streaming warm-start re-fusion) and fuse_tsv (registry-driven CLI) on
+# the checked-in demo TSV, so the Session facade cannot silently rot.
+#
+#   ./scripts/examples_smoke.sh      (BUILD_DIR overrides ./build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TSV=examples/data/demo_extractions.tsv
+OUT="$(mktemp)"
+trap 'rm -f "${OUT}"' EXIT
+
+for target in example_quickstart example_fuse_tsv; do
+  if [[ ! -x "${BUILD_DIR}/examples/${target}" ]]; then
+    cmake -B "${BUILD_DIR}" -S . > /dev/null
+    cmake --build "${BUILD_DIR}" --target "${target}" \
+      -j"$(nproc 2>/dev/null || echo 4)"
+  fi
+done
+
+echo "== quickstart ==" >&2
+"${BUILD_DIR}/examples/example_quickstart" > "${OUT}"
+grep -q "warm re-fusion reconverged" "${OUT}"
+
+echo "== fuse_tsv (popaccu on ${TSV}) ==" >&2
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=popaccu > "${OUT}"
+# The corroborated values must win their conflicts in the output.
+grep -q $'TomCruise\tbirth_date\t1962-07-03' "${OUT}"
+grep -q $'TopGun\trelease_year\t1986' "${OUT}"
+
+echo "== fuse_tsv (unknown method lists registry names, exit 2) ==" >&2
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=nope 2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "valid: accu" "${OUT}"
+
+echo "examples smoke OK" >&2

@@ -93,4 +93,41 @@ kb::TripleId ExtractionDataset::FindTriple(const kb::DataItem& item,
   return it == triple_index_.end() ? kb::kInvalidId : it->second;
 }
 
+ExtractionDataset CloneRecordPrefix(const ExtractionDataset& src, size_t n) {
+  KF_CHECK(n <= src.num_records());
+  ExtractionDataset dst;
+  dst.SetExtractors(src.extractors());
+  std::vector<SiteId> sites;
+  sites.reserve(src.num_urls());
+  for (UrlId u = 0; u < src.num_urls(); ++u) {
+    sites.push_back(src.site_of_url(u));
+  }
+  dst.SetUrlSites(std::move(sites));
+  dst.SetCounts(src.num_sites(), src.num_patterns(), src.num_predicates());
+  for (size_t i = 0; i < n; ++i) {
+    ExtractionRecord r = src.records()[i];
+    const TripleInfo& info = src.triple(r.triple);
+    r.triple = dst.InternTriple(src.item(info.item), info.object,
+                                info.true_in_world, info.hierarchy_true);
+    dst.AddRecord(r);
+  }
+  return dst;
+}
+
+std::vector<ExtractionRecord> ReinternTail(const ExtractionDataset& src,
+                                           size_t n,
+                                           ExtractionDataset* dst) {
+  KF_CHECK(n <= src.num_records());
+  std::vector<ExtractionRecord> batch;
+  batch.reserve(src.num_records() - n);
+  for (size_t i = n; i < src.num_records(); ++i) {
+    ExtractionRecord r = src.records()[i];
+    const TripleInfo& info = src.triple(r.triple);
+    r.triple = dst->InternTriple(src.item(info.item), info.object,
+                                 info.true_in_world, info.hierarchy_true);
+    batch.push_back(r);
+  }
+  return batch;
+}
+
 }  // namespace kf::extract

@@ -137,6 +137,18 @@ class ExtractionDataset {
   size_t num_predicates_ = 0;
 };
 
+/// Re-interns the first `n` records of `src` into a fresh dataset (triple
+/// ids assigned in record first-seen order, so two clones with the same
+/// record sequence agree exactly). The standard way to carve a streaming
+/// base out of an existing corpus: clone a prefix, then feed the tail
+/// through ReinternTail + Append.
+ExtractionDataset CloneRecordPrefix(const ExtractionDataset& src, size_t n);
+
+/// Interns the tail records [n, end) of `src` against `dst` and returns
+/// them as a batch ready for dst->Append().
+std::vector<ExtractionRecord> ReinternTail(const ExtractionDataset& src,
+                                           size_t n, ExtractionDataset* dst);
+
 }  // namespace kf::extract
 
 #endif  // KF_EXTRACT_DATASET_H_

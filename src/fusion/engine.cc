@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "fusion/registry.h"
 #include "mr/reservoir.h"
 
 namespace kf::fusion {
@@ -46,6 +47,12 @@ FusionEngine::FusionEngine(const extract::ExtractionDataset& dataset,
                            const FusionOptions& options)
     : dataset_(dataset), options_(options) {
   KF_CHECK_OK(options_.Validate());
+  // A method_name naming an engine method overrides the enum; baseline /
+  // extension names cannot run on this engine — route those through
+  // fusion::Registry (kf::Session does).
+  if (!options_.method_name.empty()) {
+    KF_CHECK(ParseEngineMethod(options_.method_name, &options_.method));
+  }
   graph_ = ClaimGraph(dataset, options_.granularity, options_.num_shards,
                       options_.num_workers);
   scorer_ = MakeScorer(options_);
@@ -96,15 +103,28 @@ void FusionEngine::InitAccuracies(const std::vector<Label>* gold) {
   }
 }
 
-FusionResult FusionEngine::Prepare(const std::vector<Label>* gold) {
-  Refresh();
-  InitAccuracies(gold);
+FusionResult FusionEngine::EmptyResult() const {
   FusionResult result;
   result.probability.assign(dataset_.num_triples(), 0.0);
   result.has_probability.assign(dataset_.num_triples(), 0);
   result.from_fallback.assign(dataset_.num_triples(), 0);
   result.num_provenances = graph_.num_provs();
   return result;
+}
+
+FusionResult FusionEngine::Prepare(const std::vector<Label>* gold) {
+  Refresh();
+  InitAccuracies(gold);
+  return EmptyResult();
+}
+
+FusionResult FusionEngine::PrepareWarm() {
+  // Refresh() grows the accuracy arrays for appended provenances (at the
+  // default accuracy) and leaves existing entries untouched — exactly the
+  // warm seed. On a never-run engine this degrades to an all-default
+  // initialization, i.e. a cold start without gold.
+  Refresh();
+  return EmptyResult();
 }
 
 void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
@@ -298,6 +318,23 @@ FusionResult FusionEngine::Run(const std::vector<Label>* gold,
 FusionResult Fuse(const extract::ExtractionDataset& dataset,
                   const FusionOptions& options,
                   const std::vector<Label>* gold) {
+  // Registry-only method names (baselines, extensions) cannot run on the
+  // engine; route them through their Fuser so every Validate()-OK options
+  // value works at this entry point too. Unmet side inputs (a method
+  // needing gold or a hierarchy) stay KF_CHECK programmer errors here,
+  // exactly like init_accuracy_from_gold without labels — callers that
+  // want Status-based errors use kf::Session.
+  Method engine_method;
+  if (!options.method_name.empty() &&
+      !ParseEngineMethod(options.method_name, &engine_method)) {
+    Result<std::unique_ptr<Fuser>> fuser =
+        Registry::Create(options.method_name);
+    KF_CHECK(fuser.ok());
+    FuseContext ctx;
+    ctx.gold = gold;
+    KF_CHECK_OK((*fuser)->ValidateContext(dataset, options, ctx));
+    return (*fuser)->Run(dataset, options, ctx);
+  }
   FusionEngine engine(dataset, options);
   return engine.Run(gold);
 }

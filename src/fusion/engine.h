@@ -76,6 +76,11 @@ class FusionEngine {
   /// Ingests appended records, (re)initializes provenance accuracies, and
   /// returns an empty result sized for the current dataset.
   FusionResult Prepare(const std::vector<Label>* gold = nullptr);
+  /// Warm-start companion to Prepare(): re-syncs the graph but KEEPS the
+  /// current provenance accuracies (appended provenances enter at the
+  /// default accuracy) instead of re-initializing them. The streaming
+  /// re-fusion entry point (Fuser::Refuse / kf::Session::Refuse).
+  FusionResult PrepareWarm();
   /// One Stage I sweep: scores every qualified item group into `result`.
   void StageI(size_t round, FusionResult* result);
   /// One Stage II sweep: re-evaluates provenance accuracies against
@@ -84,9 +89,14 @@ class FusionEngine {
 
   // ---- introspection ----
   const ClaimGraph& graph() const { return graph_; }
+  const FusionOptions& options() const { return options_; }
   size_t num_provenances() const { return graph_.num_provs(); }
   size_t num_claims() const { return graph_.num_claims(); }
   const std::vector<double>& provenance_accuracy() const { return accuracy_; }
+  /// Per provenance: whether the accuracy is data-driven (vs. default).
+  const std::vector<uint8_t>& provenance_evaluated() const {
+    return evaluated_;
+  }
   /// Number of claims of each provenance.
   const std::vector<uint32_t>& provenance_claims() const {
     return graph_.prov_claims();
@@ -94,6 +104,7 @@ class FusionEngine {
 
  private:
   void InitAccuracies(const std::vector<Label>* gold);
+  FusionResult EmptyResult() const;
   void SweepShard(const ClaimGraph::Shard& shard, double theta,
                   bool prefer_evaluated, FusionResult* result) const;
 

@@ -1,0 +1,85 @@
+// The uniform fusion-method interface behind kf::Session and the method
+// registry (fusion/registry.h). Every method — the three engine methods
+// (VOTE / ACCU / POPACCU), the four data-fusion baselines, and the
+// Section 5 extensions — runs behind this interface, so callers select
+// methods by name through one code path instead of hand-wiring divergent
+// free-function signatures.
+//
+// A Fuser may keep state across calls: the engine-backed fusers hold the
+// sharded claim graph and the converged provenance accuracies of the last
+// Run(), which is what makes warm-start Refuse() possible after a dataset
+// append. Fusers are NOT thread-safe; share one per session, not across
+// threads.
+#ifndef KF_FUSION_FUSER_H_
+#define KF_FUSION_FUSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/label.h"
+#include "common/status.h"
+#include "extract/dataset.h"
+#include "fusion/engine.h"
+#include "fusion/options.h"
+#include "kb/value_hierarchy.h"
+
+namespace kf::fusion {
+
+/// Side inputs some methods need beyond the dataset and options: gold
+/// labels (semi-supervised initialization, confidence recalibration) and
+/// the value containment DAG (hierarchy-aware fusion). Pointers are
+/// borrowed for the duration of one call.
+struct FuseContext {
+  /// Per-unique-triple labels, sized dataset.num_triples(). Required when
+  /// options.init_accuracy_from_gold is set and by "confidence_weighted".
+  const std::vector<Label>* gold = nullptr;
+  /// Required by the "hierarchy" method.
+  const kb::ValueHierarchy* hierarchy = nullptr;
+};
+
+class Fuser {
+ public:
+  virtual ~Fuser() = default;
+
+  /// The registry name this fuser was created under ("popaccu", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Method-specific requirements beyond FusionOptions::Validate — e.g.
+  /// "confidence_weighted" needs ctx.gold, "hierarchy" needs
+  /// ctx.hierarchy. Checked by kf::Session before every Run.
+  virtual Status ValidateContext(const extract::ExtractionDataset& dataset,
+                                 const FusionOptions& options,
+                                 const FuseContext& ctx) const {
+    (void)dataset;
+    (void)options;
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Cold fusion: (re)builds all internal state from scratch and runs the
+  /// method to convergence.
+  virtual FusionResult Run(const extract::ExtractionDataset& dataset,
+                           const FusionOptions& options,
+                           const FuseContext& ctx) = 0;
+
+  /// Whether Refuse() can warm-start from a previous Run().
+  virtual bool SupportsWarmStart() const { return false; }
+
+  /// Warm-start re-fusion after records were appended to `dataset` (which
+  /// must be the same object a previous Run() fused): engine-backed
+  /// methods re-sync the claim graph incrementally, seed Stage I from the
+  /// previous run's provenance accuracies, and iterate only until
+  /// reconvergence (options.warm_start caps). The default implementation
+  /// reports the method as not warm-startable.
+  virtual Result<FusionResult> Refuse(
+      const extract::ExtractionDataset& dataset) {
+    (void)dataset;
+    return Status::FailedPrecondition(
+        std::string(name()) + " does not support warm-start re-fusion; "
+        "run a cold Fuse() instead");
+  }
+};
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_FUSER_H_

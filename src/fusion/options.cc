@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "fusion/claim_graph.h"
+#include "fusion/registry.h"
 
 namespace kf::fusion {
 
@@ -55,6 +56,11 @@ FusionOptions FusionOptions::PopAccuPlus() {
 }
 
 Status FusionOptions::Validate() const {
+  if (!method_name.empty() && !Registry::Contains(method_name)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown fusion method '%s'; valid: %s",
+                  method_name.c_str(), Registry::NamesCsv().c_str()));
+  }
   if (!(default_accuracy > 0.0 && default_accuracy < 1.0)) {
     return Status::InvalidArgument(
         StrFormat("default_accuracy must be in (0,1), got %g",
@@ -105,11 +111,16 @@ Status FusionOptions::Validate() const {
                   "got [%g, %g]",
                   accuracy_floor, accuracy_ceiling));
   }
+  if (!(warm_start.epsilon >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("warm_start.epsilon must be non-negative, got %g",
+                  warm_start.epsilon));
+  }
   return Status::OK();
 }
 
 std::string FusionOptions::ToString() const {
-  std::string out = MethodName(method);
+  std::string out = method_name.empty() ? MethodName(method) : method_name;
   out += " prov=" + granularity.ToString();
   if (filter_by_coverage) out += " +FilterByCov";
   if (min_provenance_accuracy > 0.0) {

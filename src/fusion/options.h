@@ -22,8 +22,25 @@ enum class Method : uint8_t {
 
 const char* MethodName(Method m);
 
+/// Warm-start re-fusion knobs (Session::Refuse / Fuser::Refuse). After an
+/// Append, re-fusion seeds Stage I from the previous run's converged
+/// provenance accuracies and iterates only until reconvergence — unlike a
+/// cold Run, the convergence check applies from round 1, so a small
+/// append typically reconverges in one or two sweeps.
+struct WarmStartOptions {
+  /// Round cap for one warm re-fusion (0 = inherit max_rounds).
+  size_t max_rounds = 0;
+  /// Reconvergence epsilon (0 = inherit convergence_epsilon).
+  double epsilon = 0.0;
+};
+
 struct FusionOptions {
   Method method = Method::kPopAccu;
+  /// Registry method name ("vote", "truthfinder", "latent_truth", ...;
+  /// see fusion/registry.h). Empty = use `method`. When set it wins over
+  /// the enum everywhere methods are selected (kf::Session, the engine);
+  /// Validate() rejects names the registry does not know.
+  std::string method_name;
   extract::Granularity granularity = extract::Granularity::ExtractorUrl();
 
   /// A0: accuracy assigned to a provenance before any evidence (Sec 4.1).
@@ -63,6 +80,9 @@ struct FusionOptions {
   /// Clamp provenance accuracies away from 0/1 so log-odds stay finite.
   double accuracy_floor = 0.01;
   double accuracy_ceiling = 0.99;
+
+  /// Streaming warm-start re-fusion knobs (engine methods only).
+  WarmStartOptions warm_start;
 
   // ---- presets used throughout the benches ----
   static FusionOptions Vote();

@@ -1,0 +1,94 @@
+#include "kf/session.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "fusion/registry.h"
+
+namespace kf {
+
+Session::Session(std::optional<extract::ExtractionDataset> owned,
+                 const extract::ExtractionDataset* borrowed)
+    : owned_(std::move(owned)),
+      dataset_(owned_ ? &*owned_ : borrowed) {
+  KF_CHECK(dataset_ != nullptr);
+}
+
+Session::Session(extract::ExtractionDataset dataset)
+    : Session(std::move(dataset), nullptr) {}
+
+Session Session::Borrow(const extract::ExtractionDataset& dataset) {
+  return Session(std::nullopt, &dataset);
+}
+
+extract::ExtractionDataset& Session::mutable_dataset() {
+  KF_CHECK(owned_.has_value());
+  return *owned_;
+}
+
+Result<fusion::FusionResult> Session::Fuse(
+    const fusion::FusionOptions& options, const std::vector<Label>* gold) {
+  KF_RETURN_IF_ERROR(options.Validate());
+  const std::string name = options.method_name.empty()
+                               ? fusion::Registry::NameOf(options.method)
+                               : options.method_name;
+  // Reuse the fuser across same-method runs (its engine state is rebuilt
+  // by every cold Run anyway); switching methods re-creates it. The new
+  // fuser is only committed after validation succeeds, so a rejected
+  // Fuse leaves the previous method's warm state (and method()) intact.
+  std::unique_ptr<fusion::Fuser> fresh;
+  fusion::Fuser* fuser = fuser_.get();
+  if (fuser == nullptr || method_ != name) {
+    Result<std::unique_ptr<fusion::Fuser>> created =
+        fusion::Registry::Create(name);
+    if (!created.ok()) return created.status();
+    fresh = std::move(created).value();
+    fuser = fresh.get();
+  }
+  fusion::FuseContext ctx;
+  ctx.gold = gold;
+  ctx.hierarchy = hierarchy_;
+  KF_RETURN_IF_ERROR(fuser->ValidateContext(*dataset_, options, ctx));
+  if (fresh) {
+    fuser_ = std::move(fresh);
+    method_ = name;
+  }
+  last_ = fuser_->Run(*dataset_, options, ctx);
+  return *last_;
+}
+
+Status Session::Append(
+    const std::vector<extract::ExtractionRecord>& records) {
+  if (!owned_) {
+    return Status::FailedPrecondition(
+        "Append() on a borrowed dataset; construct the Session owning its "
+        "dataset to stream");
+  }
+  return owned_->Append(records);
+}
+
+Result<fusion::FusionResult> Session::Refuse() {
+  if (!fuser_) {
+    return Status::FailedPrecondition("Refuse() before any Fuse()");
+  }
+  Result<fusion::FusionResult> result = fuser_->Refuse(*dataset_);
+  if (result.ok()) last_ = *result;
+  return result;
+}
+
+Result<eval::ModelReport> Session::Evaluate(
+    const std::vector<Label>& gold) const {
+  if (!last_) {
+    return Status::FailedPrecondition("Evaluate() before any Fuse()");
+  }
+  // Sized against the evaluated result, not the live dataset: an Append
+  // that interned new triples grows the dataset before the next
+  // Fuse/Refuse re-sizes the result.
+  if (gold.size() != last_->probability.size()) {
+    return Status::InvalidArgument(
+        "gold labels must cover every unique triple of the fused result");
+  }
+  return eval::EvaluateModel(method_, *last_, gold);
+}
+
+}  // namespace kf

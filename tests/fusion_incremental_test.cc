@@ -15,44 +15,11 @@ const synth::SynthCorpus& SmallCorpus() {
   return corpus;
 }
 
-/// Re-interns the first `n` records of `src` into a fresh dataset (triple
-/// ids assigned in record first-seen order, so two clones with the same
-/// record sequence agree exactly).
-extract::ExtractionDataset CloneWithRecords(
-    const extract::ExtractionDataset& src, size_t n) {
-  extract::ExtractionDataset d;
-  d.SetExtractors(src.extractors());
-  std::vector<extract::SiteId> sites;
-  for (extract::UrlId u = 0; u < src.num_urls(); ++u) {
-    sites.push_back(src.site_of_url(u));
-  }
-  d.SetUrlSites(std::move(sites));
-  d.SetCounts(src.num_sites(), src.num_patterns(), src.num_predicates());
-  for (size_t i = 0; i < n; ++i) {
-    extract::ExtractionRecord r = src.records()[i];
-    const extract::TripleInfo& info = src.triple(r.triple);
-    r.triple = d.InternTriple(src.item(info.item), info.object,
-                              info.true_in_world, info.hierarchy_true);
-    d.AddRecord(r);
-  }
-  return d;
-}
-
-/// Interns the tail records [n, end) of `src` against `dst` and returns
-/// them as an appendable batch.
-std::vector<extract::ExtractionRecord> TailBatch(
-    const extract::ExtractionDataset& src, size_t n,
-    extract::ExtractionDataset* dst) {
-  std::vector<extract::ExtractionRecord> batch;
-  for (size_t i = n; i < src.num_records(); ++i) {
-    extract::ExtractionRecord r = src.records()[i];
-    const extract::TripleInfo& info = src.triple(r.triple);
-    r.triple = dst->InternTriple(src.item(info.item), info.object,
-                                 info.true_in_world, info.hierarchy_true);
-    batch.push_back(r);
-  }
-  return batch;
-}
+// The prefix-clone / tail-re-intern helpers moved into extract/dataset.h
+// (CloneRecordPrefix / ReinternTail) so the streaming benches, session
+// tests, and docs share one implementation.
+using extract::CloneRecordPrefix;
+using extract::ReinternTail;
 
 void ExpectIdentical(const FusionResult& a, const FusionResult& b) {
   EXPECT_EQ(a.probability, b.probability);
@@ -74,21 +41,21 @@ TEST_P(IncrementalSweep, AppendThenRunMatchesFullRebuild) {
   opts.num_shards = 16;
 
   // Incremental path: engine built over the base, then Append + re-Run.
-  extract::ExtractionDataset incr = CloneWithRecords(src, base);
+  extract::ExtractionDataset incr = CloneRecordPrefix(src, base);
   FusionEngine engine(incr, opts);
   FusionResult warm = engine.Run();
   EXPECT_GT(warm.probability.size(), 0u);
   size_t claims_before = engine.num_claims();
 
   std::vector<extract::ExtractionRecord> batch =
-      TailBatch(src, base, &incr);
+      ReinternTail(src, base, &incr);
   KF_CHECK_OK(incr.Append(batch));
   FusionResult incremental = engine.Run();  // Refresh() happens inside
   EXPECT_GT(engine.num_claims(), claims_before);
 
   // Full-rebuild path: identical record sequence, fresh engine.
   extract::ExtractionDataset full =
-      CloneWithRecords(src, src.num_records());
+      CloneRecordPrefix(src, src.num_records());
   FusionEngine fresh(full, opts);
   FusionResult rebuilt = fresh.Run();
 
@@ -103,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(Methods, IncrementalSweep,
 
 TEST(IncrementalTest, EmptyAppendIsANoOp) {
   const auto& src = SmallCorpus().dataset;
-  extract::ExtractionDataset d = CloneWithRecords(src, src.num_records());
+  extract::ExtractionDataset d = CloneRecordPrefix(src, src.num_records());
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 16;
   FusionEngine engine(d, opts);
@@ -118,7 +85,7 @@ TEST(IncrementalTest, EmptyAppendIsANoOp) {
 TEST(IncrementalTest, AppendWithNewProvenanceGrowsAccuracies) {
   const auto& src = SmallCorpus().dataset;
   const size_t base = src.num_records();
-  extract::ExtractionDataset incr = CloneWithRecords(src, base);
+  extract::ExtractionDataset incr = CloneRecordPrefix(src, base);
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 16;
   FusionEngine engine(incr, opts);
@@ -145,7 +112,7 @@ TEST(IncrementalTest, StreamingRefreshHandlesNewProvenances) {
   // with the same result. The new provenance must enter at the default
   // accuracy (no re-Prepare needed when no new triples were interned).
   const auto& src = SmallCorpus().dataset;
-  extract::ExtractionDataset d = CloneWithRecords(src, src.num_records());
+  extract::ExtractionDataset d = CloneRecordPrefix(src, src.num_records());
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 16;
   FusionEngine engine(d, opts);
@@ -171,7 +138,7 @@ TEST(IncrementalTest, StreamingRefreshHandlesNewProvenances) {
 
 TEST(IncrementalTest, AppendRejectsUninternedTriples) {
   const auto& src = SmallCorpus().dataset;
-  extract::ExtractionDataset d = CloneWithRecords(src, 10);
+  extract::ExtractionDataset d = CloneRecordPrefix(src, 10);
   extract::ExtractionRecord bad = d.records()[0];
   bad.triple = static_cast<kb::TripleId>(d.num_triples() + 7);
   size_t before = d.num_records();
