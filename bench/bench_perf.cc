@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "eval/gold_standard.h"
@@ -235,6 +236,76 @@ void BM_RefuseAfterAppend1_Cold(benchmark::State& state) {
   state.counters["rounds"] = rounds;
 }
 BENCHMARK(BM_RefuseAfterAppend1_Cold)->Unit(benchmark::kMillisecond);
+
+// ---- the fused-KB query path (Session::Snapshot / kf::FusedKB) ----
+
+// Building the session-independent snapshot: copy verdicts + provenance
+// table off the engine state and index them (one linear sweep over the
+// claim graph, no re-grouping).
+void BM_SessionSnapshot(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  kf::Session session = kf::Session::Borrow(corpus.dataset);
+  auto fused = session.Fuse(PopAccuOpts(1));
+  KF_CHECK(fused.ok());
+  size_t triples = 0;
+  for (auto _ : state) {
+    auto kb = session.Snapshot();
+    KF_CHECK(kb.ok());
+    triples = kb->num_triples();
+    benchmark::DoNotOptimize(kb);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(triples));
+  state.counters["triples"] = static_cast<double>(triples);
+}
+BENCHMARK(BM_SessionSnapshot)->Unit(benchmark::kMillisecond);
+
+const kf::FusedKB& SnapshotAtScale1() {
+  static const kf::FusedKB& kb = *[] {
+    const auto& corpus = CorpusAtScale(1.0);
+    kf::Session session = kf::Session::Borrow(corpus.dataset);
+    auto fused = session.Fuse(PopAccuOpts(1));
+    KF_CHECK(fused.ok());
+    auto snap = session.Snapshot();
+    KF_CHECK(snap.ok());
+    return new kf::FusedKB(std::move(snap).value());
+  }();
+  return kb;
+}
+
+// Point lookups by (subject, predicate) name: hash to the item, return
+// its winner — O(group), never an O(corpus) scan.
+void BM_FusedKbLookup(benchmark::State& state) {
+  const kf::FusedKB& kb = SnapshotAtScale1();
+  // Synthesized names of the id-only synthetic corpus ("s<id>"/"p<id>");
+  // cycle through resolved verdicts so every lookup hits a real item.
+  std::vector<kf::KbVerdict> keys = kb.TopK(1024);
+  KF_CHECK(!keys.empty());
+  size_t i = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    const kf::KbVerdict& key = keys[i];
+    if (++i == keys.size()) i = 0;
+    auto v = kb.Lookup(key.subject, key.predicate);
+    found += v.has_value();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["found"] = static_cast<double>(found);
+}
+BENCHMARK(BM_FusedKbLookup);
+
+void BM_FusedKbTopK(benchmark::State& state) {
+  const kf::FusedKB& kb = SnapshotAtScale1();
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto top = kb.TopK(k);
+    benchmark::DoNotOptimize(top);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_FusedKbTopK)->Arg(10)->Arg(1000);
 
 // ---- end-to-end fusion ----
 

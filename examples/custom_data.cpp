@@ -120,18 +120,34 @@ int main() {
                  fused.status().ToString().c_str());
     return 1;
   }
-  const fusion::FusionResult& result = *fused;
+
+  // Read the verdicts back through the fused KB, with the hand-built
+  // string tables flowing in as naming hooks.
+  SnapshotNaming naming;
+  naming.subject = [&](kb::EntityId id) { return entities.Get(id); };
+  naming.predicate = [&](kb::PredicateId id) { return predicates.Get(id); };
+  naming.object = [&](kb::ValueId id) {
+    return objects.Get(values.Get(id).string_id);
+  };
+  naming.url = [&](extract::UrlId id) { return urls.Get(id); };
+  Result<FusedKB> snapshot = session.Snapshot(naming);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const FusedKB& kb = *snapshot;
 
   std::printf("%-12s %-14s %-16s %s\n", "subject", "predicate", "object",
               "p(true)");
-  for (kb::TripleId t = 0; t < session.dataset().num_triples(); ++t) {
-    const extract::TripleInfo& info = session.dataset().triple(t);
-    const kb::DataItem& item = session.dataset().item(info.item);
-    std::printf("%-12s %-14s %-16s %.3f\n",
-                entities.Get(item.subject).c_str(),
-                predicates.Get(item.predicate).c_str(),
-                objects.Get(values.Get(info.object).string_id).c_str(),
-                result.has_probability[t] ? result.probability[t] : -1.0);
+  for (kb::TripleId t = 0; t < kb.num_triples(); ++t) {
+    KbVerdict v = kb.verdict(t);
+    std::printf("%-12s %-14s %-16s %.3f%s\n",
+                std::string(v.subject).c_str(),
+                std::string(v.predicate).c_str(),
+                std::string(v.object).c_str(),
+                v.has_probability ? v.probability : -1.0,
+                v.winner ? "  <= winner" : "");
   }
   std::printf("\nexpected: the 1962 birth date and 1986 release year beat "
               "their rivals;\nprofessions are split by the single-truth "

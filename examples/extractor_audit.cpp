@@ -27,7 +27,15 @@ int main() {
                  fused.status().ToString().c_str());
     return 1;
   }
-  const fusion::FusionResult& result = *fused;
+  // Per-triple verdicts come from the fused-KB snapshot, not the raw
+  // result vectors; extractor names are in the dataset already.
+  Result<FusedKB> snapshot = session.Snapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const FusedKB& kb = *snapshot;
 
   // ---- rank extractors by the mean inferred probability of their
   //      unique triples ----
@@ -47,8 +55,9 @@ int main() {
     double sum = 0.0, actual = 0.0;
     size_t n = 0;
     for (const auto& [t, one] : uniq[e]) {
-      if (!result.has_probability[t]) continue;
-      sum += result.probability[t];
+      KbVerdict v = kb.verdict(t);
+      if (!v.has_probability) continue;
+      sum += v.probability;
       const auto& info = corpus.dataset.triple(t);
       actual += info.true_in_world || info.hierarchy_true ? 1.0 : 0.0;
       ++n;
@@ -75,8 +84,9 @@ int main() {
   size_t negatives = 0;
   std::vector<size_t> per_extractor(n_ext, 0);
   for (const extract::ExtractionRecord& r : corpus.dataset.records()) {
-    if (!result.has_probability[r.triple]) continue;
-    if (result.probability[r.triple] < 0.05) {
+    KbVerdict v = kb.verdict(r.triple);
+    if (!v.has_probability) continue;
+    if (v.probability < 0.05) {
       ++negatives;
       ++per_extractor[r.prov.extractor];
     }
@@ -94,9 +104,8 @@ int main() {
   // ---- verify the mined negatives are actually negative ----
   size_t sampled = 0, truly_false = 0;
   for (kb::TripleId t = 0; t < corpus.dataset.num_triples(); ++t) {
-    if (!result.has_probability[t] || result.probability[t] >= 0.05) {
-      continue;
-    }
+    KbVerdict v = kb.verdict(t);
+    if (!v.has_probability || v.probability >= 0.05) continue;
     const auto& info = corpus.dataset.triple(t);
     ++sampled;
     if (!info.true_in_world && !info.hierarchy_true) ++truly_false;

@@ -5,14 +5,24 @@
 //              [--granularity=url|site|site_pred|site_pred_pattern]
 //              [--theta=0.25] [--filter-by-coverage]
 //              [--workers=N] [--shards=N]
+//              [--min-prob=P] [--export=KB.tsv]
 //
 // Input columns: subject predicate object extractor url [confidence]
 // Output columns: subject predicate object probability
 // With no INPUT, runs on a built-in demo corpus.
+//
+// --min-prob=P restricts the output to triples with probability >= P
+// (FusedKB::AboveThreshold); --export=KB.tsv additionally writes the full
+// fused KB — verdicts plus the provenance table behind them — in the
+// re-importable fused-KB schema (FusedKB::ExportTsv). Both need an
+// engine method (vote / accu / popaccu), which retains the state the
+// snapshot is built from.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "common/string_util.h"
 #include "extract/tsv_io.h"
@@ -38,6 +48,7 @@ void Usage() {
                "site_pred_pattern]\n"
                "                [--theta=X] [--filter-by-coverage]\n"
                "                [--workers=N] [--shards=N]\n"
+               "                [--min-prob=P] [--export=KB.tsv]\n"
                "methods: %s\n",
                fusion::Registry::NamesCsv().c_str());
 }
@@ -45,12 +56,47 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input, output;
+  std::string input, output, export_path;
+  double min_prob = -1.0;  // < 0: no threshold filtering
   fusion::FusionOptions options = fusion::FusionOptions::PopAccu();
   options.granularity = extract::Granularity::ExtractorSite();
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // --export / --min-prob accept both "--flag=value" and "--flag value".
+    if (arg == "--export" || arg == "--min-prob") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
+        Usage();
+        return 2;
+      }
+      arg += "=";
+      arg += argv[++i];
+    }
+    if (StartsWith(arg, "--export=")) {
+      export_path = arg.substr(9);
+      if (export_path.empty()) {
+        std::fprintf(stderr, "error: --export expects a path\n");
+        Usage();
+        return 2;
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--min-prob=")) {
+      const char* begin = arg.c_str() + 11;
+      char* end = nullptr;
+      min_prob = std::strtod(begin, &end);
+      if (end == begin || *end != '\0' || !(min_prob >= 0.0) ||
+          min_prob > 1.0) {
+        std::fprintf(stderr,
+                     "error: --min-prob expects a probability in [0,1], "
+                     "got '%s'\n",
+                     begin);
+        Usage();
+        return 2;
+      }
+      continue;
+    }
     if (StartsWith(arg, "--method=")) {
       // Validated below against the registry, which reports the full list
       // of valid names on a typo.
@@ -144,8 +190,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 2;
   }
-  std::string tsv = extract::WriteResultsTsv(*corpus, result->probability,
-                                             result->has_probability);
+
+  // --min-prob / --export work on the fused-KB snapshot (engine methods
+  // only — the registry baselines keep no engine state to snapshot).
+  std::optional<FusedKB> kb;
+  if (!export_path.empty() || min_prob >= 0.0) {
+    Result<FusedKB> snap =
+        session.Snapshot(SnapshotNaming::FromCorpus(*corpus));
+    if (!snap.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   snap.status().ToString().c_str());
+      return 2;
+    }
+    kb = std::move(snap).value();
+    if (!export_path.empty()) {
+      Status exported = kb->ExportTsv(export_path);
+      if (!exported.ok()) {
+        std::fprintf(stderr, "error: %s\n", exported.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "exported fused KB (%zu triples, %zu "
+                   "provenances) to %s\n",
+                   kb->num_triples(), kb->num_provenances(),
+                   export_path.c_str());
+    }
+  }
+
+  std::string tsv;
+  if (min_prob >= 0.0) {
+    tsv = "subject\tpredicate\tobject\tprobability\n";
+    for (const KbVerdict& v : kb->AboveThreshold(min_prob)) {
+      tsv += std::string(v.subject) + '\t' + std::string(v.predicate) +
+             '\t' + std::string(v.object) + '\t' +
+             ToFixed(v.probability, 6) + '\n';
+    }
+  } else {
+    tsv = extract::WriteResultsTsv(*corpus, result->probability,
+                                   result->has_probability);
+  }
   if (output.empty()) {
     std::fwrite(tsv.data(), 1, tsv.size(), stdout);
   } else {

@@ -31,7 +31,21 @@ int main(int argc, char** argv) {
                  fused.status().ToString().c_str());
     return 1;
   }
-  const fusion::FusionResult& result = *fused;
+
+  // The run's verdicts as a fused KB. Ontology predicate names flow in
+  // through the naming hook; the gold labels additionally calibrate the
+  // raw scores (KbVerdict::calibrated).
+  SnapshotNaming naming;
+  naming.predicate = [&corpus](kb::PredicateId p) {
+    return corpus.world.ontology.predicate(p).name;
+  };
+  Result<FusedKB> snapshot = session.Snapshot(naming, &labels);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const FusedKB& fused_kb = *snapshot;
 
   // Candidate novelties: triples absent from the reference KB. "83% of the
   // extracted triples are not in Freebase" in the paper; the interesting
@@ -39,12 +53,8 @@ int main(int argc, char** argv) {
   for (double threshold : {0.5, 0.7, 0.9, 0.95}) {
     kb::KnowledgeBase enriched;  // the new triples we would add
     size_t added = 0, correct = 0, unverifiable = 0;
-    for (kb::TripleId t = 0; t < corpus.dataset.num_triples(); ++t) {
-      if (!result.has_probability[t] ||
-          result.probability[t] < threshold) {
-        continue;
-      }
-      const extract::TripleInfo& info = corpus.dataset.triple(t);
+    for (const KbVerdict& v : fused_kb.AboveThreshold(threshold)) {
+      const extract::TripleInfo& info = corpus.dataset.triple(v.index);
       const kb::DataItem& item = corpus.dataset.item(info.item);
       if (corpus.freebase.Contains(item, info.object)) continue;  // known
       enriched.AddTriple(item, info.object);
@@ -53,7 +63,7 @@ int main(int argc, char** argv) {
       // production system cannot see — that is the point of the demo.
       if (info.true_in_world || info.hierarchy_true) {
         ++correct;
-      } else if (labels[t] == Label::kUnknown) {
+      } else if (labels[v.index] == Label::kUnknown) {
         ++unverifiable;
       }
     }
@@ -64,22 +74,21 @@ int main(int argc, char** argv) {
         unverifiable, threshold == default_threshold ? "  <= chosen" : "");
   }
 
-  // Show a handful of concrete promotions at the chosen threshold.
+  // Show a handful of concrete promotions at the chosen threshold (the
+  // KB hands them back already ordered by probability).
   std::printf("\nsample of promoted triples (subject, predicate, object):\n");
   size_t shown = 0;
-  for (kb::TripleId t = 0;
-       t < corpus.dataset.num_triples() && shown < 8; ++t) {
-    if (!result.has_probability[t] ||
-        result.probability[t] < default_threshold) {
-      continue;
-    }
-    const extract::TripleInfo& info = corpus.dataset.triple(t);
+  for (const KbVerdict& v : fused_kb.AboveThreshold(default_threshold)) {
+    if (shown >= 8) break;
+    const extract::TripleInfo& info = corpus.dataset.triple(v.index);
     const kb::DataItem& item = corpus.dataset.item(info.item);
     if (corpus.freebase.Contains(item, info.object)) continue;
-    const auto& pred = corpus.world.ontology.predicate(item.predicate);
-    std::printf("  (entity%u, %s, value%u)  p=%.2f  world says: %s\n",
-                item.subject, pred.name.c_str(), info.object,
-                result.probability[t],
+    std::printf("  (%.*s, %.*s, %.*s)  p=%.2f calibrated=%.2f  world "
+                "says: %s\n",
+                static_cast<int>(v.subject.size()), v.subject.data(),
+                static_cast<int>(v.predicate.size()), v.predicate.data(),
+                static_cast<int>(v.object.size()), v.object.data(),
+                v.probability, v.calibrated,
                 info.true_in_world ? "true"
                                    : (info.hierarchy_true
                                           ? "true (hierarchy)"

@@ -59,22 +59,46 @@ int main(int argc, char** argv) {
               report->deviation, report->weighted_deviation, report->auc_pr);
   std::printf("%s\n", eval::RenderCalibration(report->calibration).c_str());
 
-  // 6. Use the probabilities: the paper's three consumption modes.
+  // 6. Use the probabilities through the fused KB — the run's verdicts as
+  //    a queryable, session-independent object (the paper's three
+  //    consumption modes). Passing the labels maps raw scores through the
+  //    calibration bins into KbVerdict::calibrated.
+  Result<FusedKB> snapshot = session.Snapshot({}, &labels);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const FusedKB& kb = *snapshot;
   size_t trusted = 0, negatives = 0, active_learning = 0;
-  for (size_t t = 0; t < result.probability.size(); ++t) {
-    if (!result.has_probability[t]) continue;
-    double p = result.probability[t];
-    if (p > 0.9) {
+  for (size_t t = 0; t < kb.num_triples(); ++t) {
+    KbVerdict v = kb.verdict(static_cast<uint32_t>(t));
+    if (!v.has_probability) continue;
+    if (v.probability > 0.9) {
       ++trusted;  // promote into the KB
-    } else if (p < 0.1) {
+    } else if (v.probability < 0.1) {
       ++negatives;  // negative training data for the extractors
-    } else if (p >= 0.4 && p < 0.6) {
+    } else if (v.probability >= 0.4 && v.probability < 0.6) {
       ++active_learning;  // candidates for human review
     }
   }
   std::printf("usage split: %zu trusted (p>0.9), %zu negative examples "
               "(p<0.1), %zu for active learning (0.4<=p<0.6)\n",
               trusted, negatives, active_learning);
+  // TopK only yields predicted triples, which the coverage filter can
+  // leave empty on an adversarial seed.
+  std::vector<KbVerdict> top = kb.TopK(1);
+  if (!top.empty()) {
+    std::printf("most confident triple: (%.*s, %.*s, %.*s) p=%.3f "
+                "calibrated=%.3f\n",
+                static_cast<int>(top[0].subject.size()),
+                top[0].subject.data(),
+                static_cast<int>(top[0].predicate.size()),
+                top[0].predicate.data(),
+                static_cast<int>(top[0].object.size()),
+                top[0].object.data(), top[0].probability,
+                top[0].calibrated);
+  }
 
   // 7. Stream. Switch the session to ACCU, whose accuracy iteration
   //    converges under convergence_epsilon (POPACCU's popularity rewrite

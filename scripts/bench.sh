@@ -29,7 +29,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
   # One pass over the claim-graph + streaming benches so perf binaries
   # cannot rot in CI; min_time is tiny because only liveness matters here.
   exec "${BIN}" \
-    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims|RefuseAfterAppend1)' \
+    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK)' \
     --benchmark_min_time=0.01 "$@"
 fi
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Public-API smoke: build and run the quickstart (batch + evaluation +
-# streaming warm-start re-fusion) and fuse_tsv (registry-driven CLI) on
-# the checked-in demo TSV, so the Session facade cannot silently rot.
+# streaming warm-start re-fusion), fuse_tsv (registry-driven CLI, incl.
+# the fused-KB --export/--min-prob flags), and query_kb (FusedKB
+# Lookup/Explain/TopK + round-trip) on the checked-in demo TSV, so the
+# Session/FusedKB facade cannot silently rot.
 #
 #   ./scripts/examples_smoke.sh      (BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -10,9 +12,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 TSV=examples/data/demo_extractions.tsv
 OUT="$(mktemp)"
-trap 'rm -f "${OUT}"' EXIT
+KB="$(mktemp)"
+trap 'rm -f "${OUT}" "${KB}"' EXIT
 
-for target in example_quickstart example_fuse_tsv; do
+for target in example_quickstart example_fuse_tsv example_query_kb; do
   if [[ ! -x "${BUILD_DIR}/examples/${target}" ]]; then
     cmake -B "${BUILD_DIR}" -S . > /dev/null
     cmake --build "${BUILD_DIR}" --target "${target}" \
@@ -37,5 +40,45 @@ code=$?
 set -e
 [[ "${code}" -eq 2 ]]
 grep -q "valid: accu" "${OUT}"
+
+echo "== fuse_tsv (--min-prob filters, --export writes a fused KB) ==" >&2
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=popaccu \
+  --min-prob=0.8 --export="${KB}" > "${OUT}"
+# The corroborated winner passes the threshold; the lone-fansite rival
+# must be filtered out of the thresholded output. (`!` pipelines are
+# exempt from errexit, so test the grep explicitly.)
+grep -q $'TomCruise\tbirth_date\t1962-07-03' "${OUT}"
+if grep -q $'1963-07-03' "${OUT}"; then
+  echo "low-probability rival leaked through --min-prob" >&2
+  exit 1
+fi
+# The exported KB is the re-importable fused-KB schema with the
+# provenance table behind the verdicts.
+grep -q "kf-fused-kb v1" "${KB}"
+grep -q $'^M\tpopaccu' "${KB}"
+grep -q $'^P\textractor=' "${KB}"
+grep -q $'^T\tTomCruise\tbirth_date\t1962-07-03' "${KB}"
+
+echo "== fuse_tsv (bad --min-prob exits 2 with usage) ==" >&2
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --min-prob=nope \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "usage: fuse_tsv" "${OUT}"
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --min-prob=1.5 \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+
+echo "== query_kb (Lookup/Explain/TopK + export-import round-trip) ==" >&2
+"${BUILD_DIR}/examples/example_query_kb" "${TSV}" > "${OUT}"
+grep -q "1962-07-03)  p=" "${OUT}"
+grep -q "supporting    extractor=" "${OUT}"
+grep -q "contradicting extractor=" "${OUT}"
+grep -q "round-trip: equal" "${OUT}"
 
 echo "examples smoke OK" >&2

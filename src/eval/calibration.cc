@@ -3,6 +3,18 @@
 #include "common/logging.h"
 
 namespace kf::eval {
+namespace {
+
+/// Bucket of probability `p` among `l` equal-width buckets plus the
+/// dedicated p == 1 bucket (`buckets` == l + 1).
+size_t BucketOf(double p, size_t l, size_t buckets) {
+  if (p >= 1.0) return buckets - 1;
+  if (p < 0.0) p = 0.0;
+  size_t b = static_cast<size_t>(p * static_cast<double>(l));
+  return b >= l ? l - 1 : b;
+}
+
+}  // namespace
 
 CalibrationCurve ComputeCalibration(const std::vector<double>& probability,
                                     const std::vector<uint8_t>& has_probability,
@@ -20,15 +32,8 @@ CalibrationCurve ComputeCalibration(const std::vector<double>& probability,
 
   for (size_t t = 0; t < labels.size(); ++t) {
     if (labels[t] == Label::kUnknown || !has_probability[t]) continue;
-    double p = probability[t];
-    size_t b;
-    if (p >= 1.0) {
-      b = buckets - 1;  // the dedicated p == 1 bucket
-    } else {
-      if (p < 0.0) p = 0.0;
-      b = static_cast<size_t>(p * l);
-      if (b >= static_cast<size_t>(l)) b = static_cast<size_t>(l) - 1;
-    }
+    double p = probability[t] < 0.0 ? 0.0 : probability[t];
+    size_t b = BucketOf(p, static_cast<size_t>(l), buckets);
     ++curve.count[b];
     pred_sum[b] += p;
     if (labels[t] == Label::kTrue) ++true_count[b];
@@ -74,6 +79,12 @@ double RealAccuracyInRange(const std::vector<double>& probability,
   return labeled == 0 ? 0.0
                       : static_cast<double>(correct) /
                             static_cast<double>(labeled);
+}
+
+double Calibrate(const CalibrationCurve& curve, double p) {
+  KF_CHECK(curve.num_buckets() >= 2);
+  size_t b = BucketOf(p, curve.num_buckets() - 1, curve.num_buckets());
+  return curve.count[b] == 0 ? p : curve.real[b];
 }
 
 }  // namespace kf::eval

@@ -42,6 +42,13 @@ double RealAccuracyInRange(const std::vector<double>& probability,
                            const std::vector<Label>& labels, double lo,
                            double hi);
 
+/// Maps a raw predicted probability onto the curve's observed truth rate:
+/// the real probability of the bucket `p` falls into (same bucketing as
+/// ComputeCalibration), falling back to `p` itself when that bucket holds
+/// no labeled triples. This is how a fused-KB snapshot turns raw scores
+/// into calibrated probabilities from a gold sample.
+double Calibrate(const CalibrationCurve& curve, double p);
+
 }  // namespace kf::eval
 
 #endif  // KF_EVAL_CALIBRATION_H_

@@ -95,18 +95,9 @@ Result<TsvCorpus> ReadExtractionsTsv(const std::string& text) {
 }
 
 Result<TsvCorpus> ReadExtractionsTsvFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path);
-  }
-  std::string text;
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    text.append(buffer, n);
-  }
-  std::fclose(f);
-  return ReadExtractionsTsv(text);
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ReadExtractionsTsv(*text);
 }
 
 std::string WriteExtractionsTsv(const TsvCorpus& corpus) {
@@ -159,6 +150,192 @@ Status WriteFile(const std::string& path, const std::string& text) {
     return Status::IOError("short write to " + path);
   }
   return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+// ---- the fused-KB schema ----
+
+namespace {
+
+/// %.17g round-trips every finite double bit-exactly through strtod.
+void AppendDouble(std::string* out, double v) {
+  *out += StrFormat("%.17g", v);
+}
+
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseFlag(const std::string& s, bool* out) {
+  if (s == "0") {
+    *out = false;
+    return true;
+  }
+  if (s == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+bool ParseU32Strict(const std::string& s, uint32_t* out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || v > 0xffffffffull) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string WriteFusedKbTsv(const FusedKbTsv& kb) {
+  std::string out = "# kf-fused-kb v1\n";
+  out += StrFormat("M\t%s\t%zu\n", kb.method.c_str(), kb.num_rounds);
+  for (const FusedKbProvRow& p : kb.provenances) {
+    out += "P\t";
+    out += p.description;
+    out += '\t';
+    AppendDouble(&out, p.accuracy);
+    out += p.evaluated ? "\t1\t" : "\t0\t";
+    out += StrFormat("%u", p.num_claims);
+    out += '\n';
+  }
+  for (const FusedKbTripleRow& t : kb.triples) {
+    out += "T\t";
+    out += t.subject;
+    out += '\t';
+    out += t.predicate;
+    out += '\t';
+    out += t.object;
+    out += '\t';
+    AppendDouble(&out, t.probability);
+    out += '\t';
+    AppendDouble(&out, t.calibrated);
+    out += t.has_probability ? "\t1" : "\t0";
+    out += t.from_fallback ? "\t1" : "\t0";
+    out += t.winner ? "\t1\t" : "\t0\t";
+    for (size_t i = 0; i < t.supporters.size(); ++i) {
+      if (i > 0) out += ',';
+      out += StrFormat("%u", t.supporters[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FusedKbTsv> ReadFusedKbTsv(const std::string& text) {
+  FusedKbTsv kb;
+  bool saw_meta = false;
+  size_t line_no = 0;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = StrSplit(line, '\t');
+    const std::string& tag = cols[0];
+    if (tag == "M") {
+      if (saw_meta) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: duplicate M row", line_no));
+      }
+      if (cols.size() != 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: M row expects 3 columns, got %zu", line_no,
+                      cols.size()));
+      }
+      uint32_t rounds = 0;
+      if (!ParseU32Strict(cols[2], &rounds)) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad round count '%s'", line_no,
+                      cols[2].c_str()));
+      }
+      kb.method = cols[1];
+      kb.num_rounds = rounds;
+      saw_meta = true;
+    } else if (tag == "P") {
+      if (cols.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: P row expects 5 columns, got %zu", line_no,
+                      cols.size()));
+      }
+      FusedKbProvRow row;
+      row.description = cols[1];
+      if (!ParseDoubleStrict(cols[2], &row.accuracy) ||
+          !ParseFlag(cols[3], &row.evaluated) ||
+          !ParseU32Strict(cols[4], &row.num_claims)) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad P row", line_no));
+      }
+      kb.provenances.push_back(std::move(row));
+    } else if (tag == "T") {
+      if (cols.size() != 10) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: T row expects 10 columns, got %zu",
+                      line_no, cols.size()));
+      }
+      FusedKbTripleRow row;
+      row.subject = cols[1];
+      row.predicate = cols[2];
+      row.object = cols[3];
+      if (!ParseDoubleStrict(cols[4], &row.probability) ||
+          !ParseDoubleStrict(cols[5], &row.calibrated) ||
+          !ParseFlag(cols[6], &row.has_probability) ||
+          !ParseFlag(cols[7], &row.from_fallback) ||
+          !ParseFlag(cols[8], &row.winner)) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad T row", line_no));
+      }
+      if (!cols[9].empty()) {
+        for (const std::string& s : StrSplit(cols[9], ',')) {
+          uint32_t prov = 0;
+          if (!ParseU32Strict(s, &prov)) {
+            return Status::InvalidArgument(
+                StrFormat("line %zu: bad supporter index '%s'", line_no,
+                          s.c_str()));
+          }
+          row.supporters.push_back(prov);
+        }
+      }
+      kb.triples.push_back(std::move(row));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown row tag '%s'", line_no,
+                    tag.c_str()));
+    }
+  }
+  if (!saw_meta) {
+    return Status::InvalidArgument(
+        "not a fused-KB TSV (missing the M metadata row)");
+  }
+  // Supporter indices must reference P rows (P rows may legally follow T
+  // rows of a hand-edited file, so validate after the full pass).
+  for (const FusedKbTripleRow& t : kb.triples) {
+    for (uint32_t p : t.supporters) {
+      if (p >= kb.provenances.size()) {
+        return Status::InvalidArgument(
+            StrFormat("triple (%s, %s, %s): supporter index %u out of "
+                      "range (%zu provenances)",
+                      t.subject.c_str(), t.predicate.c_str(),
+                      t.object.c_str(), p, kb.provenances.size()));
+      }
+    }
+  }
+  return kb;
 }
 
 }  // namespace kf::extract

@@ -101,6 +101,11 @@ class ClaimGraph {
   // ---- whole-graph statistics ----
   size_t num_claims() const { return num_claims_; }
   size_t num_records_indexed() const { return num_records_indexed_; }
+  /// Dense provenance id of every indexed record, parallel to the first
+  /// num_records_indexed() entries of dataset.records(). The supported
+  /// way to project a dense provenance id back onto a full Provenance
+  /// (pick any record of the id) — e.g. for rendering explanations.
+  const std::vector<uint32_t>& record_provs() const { return record_prov_; }
 
   /// Visits every claim as fn(item, triple, prov, confidence), sweeping
   /// shards in order. This is the full-graph view; pass a single shard to

@@ -248,14 +248,27 @@ void FusionEngine::StageI(size_t round, FusionResult* result) {
 }
 
 double FusionEngine::StageII(const FusionResult& result) {
+  return StageII(result, options_.accuracy_damping,
+                 options_.convergence_quantile);
+}
+
+double FusionEngine::StageII(const FusionResult& result, double damping,
+                             double quantile) {
   // Same staleness guard as StageI: the cross-index may reference triples
   // interned after `result` was Prepared.
   KF_CHECK(result.probability.size() == dataset_.num_triples());
   KF_CHECK(accuracy_.size() == graph_.num_provs());
+  KF_CHECK(damping > 0.0 && damping <= 1.0);
+  KF_CHECK(quantile > 0.0 && quantile <= 1.0);
   const std::vector<uint32_t>& offsets = graph_.prov_offsets();
   const std::vector<kb::TripleId>& triples = graph_.prov_triples();
   const size_t num_provs = graph_.num_provs();
   const size_t num_blocks = (num_provs + kProvBlock - 1) / kProvBlock;
+  // The quantile criterion needs every provenance's delta, not just the
+  // per-block max; -1 marks provenances this sweep did not update.
+  const bool need_all_deltas = quantile < 1.0;
+  std::vector<double> prov_delta;
+  if (need_all_deltas) prov_delta.assign(num_provs, -1.0);
   std::vector<double> block_delta(num_blocks, 0.0);
   ParallelFor(num_blocks, options_.num_workers, [&](size_t b) {
     std::vector<float> values;
@@ -277,18 +290,42 @@ double FusionEngine::StageII(const FusionResult& result) {
       }
       double sum = 0.0;
       for (float v : values) sum += v;
-      double a = std::clamp(sum / static_cast<double>(values.size()),
-                            options_.accuracy_floor,
-                            options_.accuracy_ceiling);
-      block_delta[b] =
-          std::max(block_delta[b], std::fabs(a - accuracy_[p]));
+      double proposed = std::clamp(sum / static_cast<double>(values.size()),
+                                   options_.accuracy_floor,
+                                   options_.accuracy_ceiling);
+      // Damped step toward the proposal; damping 1 applies it exactly
+      // (not via old + (proposed - old), which could perturb the last
+      // bit and break bit-identity with the undamped update).
+      double a = damping == 1.0
+                     ? proposed
+                     : std::clamp(accuracy_[p] +
+                                      damping * (proposed - accuracy_[p]),
+                                  options_.accuracy_floor,
+                                  options_.accuracy_ceiling);
+      const double delta = std::fabs(a - accuracy_[p]);
+      block_delta[b] = std::max(block_delta[b], delta);
+      if (need_all_deltas) prov_delta[p] = delta;
       accuracy_[p] = a;
       evaluated_[p] = 1;
     }
   });
   double max_delta = 0.0;
   for (double d : block_delta) max_delta = std::max(max_delta, d);
-  return max_delta;
+  if (!need_all_deltas) return max_delta;
+  // q-quantile over the provenances updated this sweep (deterministic:
+  // per-provenance deltas do not depend on the worker decomposition).
+  std::vector<double> updated;
+  updated.reserve(num_provs);
+  for (double d : prov_delta) {
+    if (d >= 0.0) updated.push_back(d);
+  }
+  if (updated.empty()) return 0.0;
+  size_t k = static_cast<size_t>(
+      std::ceil(quantile * static_cast<double>(updated.size())));
+  k = std::min(std::max<size_t>(k, 1), updated.size());
+  std::nth_element(updated.begin(), updated.begin() + (k - 1),
+                   updated.end());
+  return updated[k - 1];
 }
 
 FusionResult FusionEngine::Run(const std::vector<Label>* gold,

@@ -84,8 +84,16 @@ class FusionEngine {
   /// One Stage I sweep: scores every qualified item group into `result`.
   void StageI(size_t round, FusionResult* result);
   /// One Stage II sweep: re-evaluates provenance accuracies against
-  /// `result`. Returns the largest accuracy change.
+  /// `result` under the options' accuracy_damping, and returns the
+  /// options' convergence_quantile of the per-provenance accuracy changes
+  /// (the largest change under the default quantile 1).
   double StageII(const FusionResult& result);
+  /// Same sweep with explicit damping/quantile — the warm re-fusion entry
+  /// point (WarmStartOptions may override both without rebuilding the
+  /// engine). Preconditions as Validate(): damping in (0,1], quantile in
+  /// (0,1].
+  double StageII(const FusionResult& result, double damping,
+                 double quantile);
 
   // ---- introspection ----
   const ClaimGraph& graph() const { return graph_; }

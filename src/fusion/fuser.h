@@ -65,6 +65,14 @@ class Fuser {
   /// Whether Refuse() can warm-start from a previous Run().
   virtual bool SupportsWarmStart() const { return false; }
 
+  /// The retained engine state of the last Run(), for callers that need
+  /// the claim graph's item/provenance groupings and the converged
+  /// accuracies behind the result (kf::Session::Snapshot builds the
+  /// fused-KB view from it). Null before any Run() and for stateless
+  /// (baseline / extension) methods — this accessor, not friend access
+  /// into the engine's vectors, is the supported way to read fused state.
+  virtual const FusionEngine* engine() const { return nullptr; }
+
   /// Warm-start re-fusion after records were appended to `dataset` (which
   /// must be the same object a previous Run() fused): engine-backed
   /// methods re-sync the claim graph incrementally, seed Stage I from the

@@ -68,6 +68,10 @@ class EngineFuser : public Fuser {
 
   bool SupportsWarmStart() const override { return true; }
 
+  const FusionEngine* engine() const override {
+    return engine_ ? &*engine_ : nullptr;
+  }
+
   Result<FusionResult> Refuse(
       const extract::ExtractionDataset& dataset) override {
     if (!engine_ || dataset_ != &dataset) {
@@ -81,6 +85,12 @@ class EngineFuser : public Fuser {
     const double epsilon = opts.warm_start.epsilon > 0.0
                                ? opts.warm_start.epsilon
                                : opts.convergence_epsilon;
+    const double damping = opts.warm_start.damping > 0.0
+                               ? opts.warm_start.damping
+                               : opts.accuracy_damping;
+    const double quantile = opts.warm_start.quantile > 0.0
+                                ? opts.warm_start.quantile
+                                : opts.convergence_quantile;
     // Ingest appended records incrementally and keep the converged
     // accuracies — the warm seed. New provenances enter at the default.
     FusionResult result = engine_->PrepareWarm();
@@ -92,7 +102,7 @@ class EngineFuser : public Fuser {
       engine_->StageI(rounds_run_ + round, &result);
       result.num_rounds = round;
       if (is_vote) break;
-      double delta = engine_->StageII(result);
+      double delta = engine_->StageII(result, damping, quantile);
       // Unlike a cold Run, convergence counts from round 1: a small append
       // barely moves the accuracies, so one sweep often suffices.
       if (delta < epsilon) break;

@@ -1,0 +1,543 @@
+#include "kf/fused_kb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "eval/calibration.h"
+#include "kb/value.h"
+
+namespace kf {
+namespace {
+
+uint64_t PackKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Strings entering the KB must survive the TSV round-trip: tabs and
+/// newlines (possible in user naming callbacks) become spaces.
+std::string Sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// Vote weight in the scorers' log-odds space, with the accuracy pulled
+/// off 0/1 so imported (unclamped) accuracies cannot produce infinities.
+double VoteWeight(double accuracy) {
+  double a = std::clamp(accuracy, 1e-9, 1.0 - 1e-9);
+  return std::log(a / (1.0 - a));
+}
+
+/// Renders the pseudo-source identity of `prov` under the granularity the
+/// run used — only the fields that formed the identity appear.
+std::string DescribeProvenance(const extract::ExtractionDataset& dataset,
+                               const extract::Provenance& prov,
+                               const extract::Granularity& g,
+                               const SnapshotNaming& naming) {
+  std::string out;
+  auto add = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += '|';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (g.use_extractor) {
+    const std::vector<extract::ExtractorMeta>& metas = dataset.extractors();
+    add("extractor", prov.extractor < metas.size() &&
+                             !metas[prov.extractor].name.empty()
+                         ? metas[prov.extractor].name
+                         : StrFormat("x%u", prov.extractor));
+  }
+  if (g.use_url) {
+    add("url", naming.url ? naming.url(prov.url)
+                          : StrFormat("u%u", prov.url));
+  }
+  if (g.use_site) {
+    add("site", naming.site ? naming.site(prov.site)
+                            : StrFormat("w%u", prov.site));
+  }
+  if (g.use_predicate) {
+    add("predicate", naming.predicate ? naming.predicate(prov.predicate)
+                                      : StrFormat("p%u", prov.predicate));
+  }
+  if (g.use_pattern) {
+    add("pattern", naming.pattern ? naming.pattern(prov.pattern)
+                                  : StrFormat("r%u", prov.pattern));
+  }
+  return out.empty() ? "all" : out;
+}
+
+bool ValidUnitInterval(double v) { return std::isfinite(v) && v >= 0.0 && v <= 1.0; }
+
+}  // namespace
+
+SnapshotNaming SnapshotNaming::FromCorpus(const extract::TsvCorpus& corpus) {
+  SnapshotNaming naming;
+  const extract::TsvCorpus* c = &corpus;
+  naming.subject = [c](kb::EntityId id) { return c->subjects.Get(id); };
+  naming.predicate = [c](kb::PredicateId id) {
+    return c->predicates.Get(id);
+  };
+  naming.object = [c](kb::ValueId id) {
+    return c->objects.Get(c->values.Get(id).string_id);
+  };
+  naming.url = [c](extract::UrlId id) { return c->urls.Get(id); };
+  naming.site = [c](extract::SiteId id) { return c->sites.Get(id); };
+  // The TSV loader interns patterns into the extractor table.
+  naming.pattern = [c](extract::PatternId id) {
+    return c->extractors.Get(id);
+  };
+  return naming;
+}
+
+Result<FusedKB> FusedKB::Snapshot(const extract::ExtractionDataset& dataset,
+                                  const fusion::FusionEngine& engine,
+                                  const fusion::FusionResult& result,
+                                  std::string method,
+                                  const SnapshotNaming& naming,
+                                  const std::vector<Label>* gold) {
+  const size_t n = result.probability.size();
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an empty fused result (no unique triples)");
+  }
+  if (gold != nullptr && gold->size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("gold labels cover %zu triples but the fused result has "
+                  "%zu",
+                  gold->size(), n));
+  }
+
+  FusedKB snap;
+  snap.method_ = std::move(method);
+  snap.num_rounds_ = result.num_rounds;
+
+  eval::CalibrationCurve curve;
+  if (gold != nullptr) {
+    curve = eval::ComputeCalibration(result.probability,
+                                     result.has_probability, *gold);
+  }
+
+  // Triples and items in TripleId order; names resolve through the
+  // callbacks (or synthesize) exactly once per distinct id.
+  std::unordered_map<kb::DataItemId, uint32_t> item_of;
+  item_of.reserve(n);
+  snap.triples_.reserve(n);
+  for (kb::TripleId t = 0; t < n; ++t) {
+    const extract::TripleInfo& info = dataset.triple(t);
+    auto [it, fresh] =
+        item_of.try_emplace(info.item, static_cast<uint32_t>(snap.items_.size()));
+    if (fresh) {
+      const kb::DataItem& di = dataset.item(info.item);
+      Item item;
+      item.subject = snap.subjects_.Intern(
+          Sanitize(naming.subject ? naming.subject(di.subject)
+                                  : StrFormat("s%u", di.subject)));
+      item.predicate = snap.predicates_.Intern(
+          Sanitize(naming.predicate ? naming.predicate(di.predicate)
+                                    : StrFormat("p%u", di.predicate)));
+      snap.items_.push_back(item);
+    }
+    Triple tr;
+    tr.item = it->second;
+    tr.object = snap.objects_.Intern(
+        Sanitize(naming.object ? naming.object(info.object)
+                               : StrFormat("v%u", info.object)));
+    tr.probability = result.probability[t];
+    tr.has_probability = result.has_probability[t] != 0;
+    tr.from_fallback = result.from_fallback[t] != 0;
+    tr.calibrated = !tr.has_probability
+                        ? 0.0
+                        : (gold != nullptr
+                               ? eval::Calibrate(curve, tr.probability)
+                               : tr.probability);
+    snap.triples_.push_back(tr);
+  }
+
+  // Supporters from the claim graph: the item/provenance groupings are
+  // already materialized in the shards, so this is one linear sweep —
+  // no re-grouping, no per-item corpus scans.
+  const fusion::ClaimGraph& graph = engine.graph();
+  std::vector<uint32_t> counts(n, 0);
+  graph.ForEachClaim(
+      [&](kb::DataItemId, kb::TripleId triple, uint32_t, float) {
+        if (triple < n) ++counts[triple];
+      });
+  snap.support_offsets_.assign(n + 1, 0);
+  for (size_t t = 0; t < n; ++t) {
+    snap.support_offsets_[t + 1] = snap.support_offsets_[t] + counts[t];
+  }
+  snap.support_provs_.resize(snap.support_offsets_[n]);
+  std::vector<uint32_t> cursor(snap.support_offsets_.begin(),
+                               snap.support_offsets_.end() - 1);
+  graph.ForEachClaim(
+      [&](kb::DataItemId, kb::TripleId triple, uint32_t prov, float) {
+        if (triple < n) snap.support_provs_[cursor[triple]++] = prov;
+      });
+  for (size_t t = 0; t < n; ++t) {
+    std::sort(snap.support_provs_.begin() + snap.support_offsets_[t],
+              snap.support_provs_.begin() + snap.support_offsets_[t + 1]);
+  }
+
+  // The provenance table: converged accuracies + a rendered identity
+  // (via any record of the provenance — all project to the same
+  // pseudo-source under the run's granularity).
+  const std::vector<double>& accuracy = engine.provenance_accuracy();
+  const std::vector<uint8_t>& evaluated = engine.provenance_evaluated();
+  const std::vector<uint32_t>& claims = engine.provenance_claims();
+  const std::vector<uint32_t>& record_provs = graph.record_provs();
+  const size_t num_provs = graph.num_provs();
+  std::vector<uint32_t> representative(num_provs, kNone);
+  for (uint32_t r = 0; r < record_provs.size(); ++r) {
+    if (representative[record_provs[r]] == kNone) {
+      representative[record_provs[r]] = r;
+    }
+  }
+  const extract::Granularity& granularity = engine.options().granularity;
+  snap.provenances_.reserve(num_provs);
+  for (uint32_t p = 0; p < num_provs; ++p) {
+    extract::FusedKbProvRow row;
+    row.description =
+        representative[p] == kNone
+            ? StrFormat("prov%u", p)
+            : Sanitize(DescribeProvenance(
+                  dataset, dataset.records()[representative[p]].prov,
+                  granularity, naming));
+    row.accuracy = accuracy[p];
+    row.evaluated = evaluated[p] != 0;
+    row.num_claims = claims[p];
+    snap.provenances_.push_back(std::move(row));
+  }
+
+  KF_CHECK_OK(snap.BuildIndexes());
+  return snap;
+}
+
+Status FusedKB::BuildIndexes() {
+  const size_t n = triples_.size();
+  const size_t num_items = items_.size();
+
+  // Item CSR over triples (triples already carry their item index).
+  std::vector<uint32_t> counts(num_items, 0);
+  for (const Triple& tr : triples_) ++counts[tr.item];
+  item_offsets_.assign(num_items + 1, 0);
+  for (size_t i = 0; i < num_items; ++i) {
+    item_offsets_[i + 1] = item_offsets_[i] + counts[i];
+  }
+  item_triples_.resize(n);
+  std::vector<uint32_t> cursor(item_offsets_.begin(),
+                               item_offsets_.end() - 1);
+  for (uint32_t t = 0; t < n; ++t) {
+    item_triples_[cursor[triples_[t].item]++] = t;
+  }
+
+  // Winners: highest predicted probability per item, ties toward the
+  // earlier triple (item_triples_ spans are in ascending triple order).
+  for (size_t i = 0; i < num_items; ++i) {
+    uint32_t winner = kNone;
+    for (uint32_t s = item_offsets_[i]; s < item_offsets_[i + 1]; ++s) {
+      uint32_t t = item_triples_[s];
+      if (!triples_[t].has_probability) continue;
+      if (winner == kNone ||
+          triples_[t].probability > triples_[winner].probability) {
+        winner = t;
+      }
+    }
+    items_[i].winner = winner;
+  }
+
+  // Probability order over predicted triples.
+  by_probability_.clear();
+  for (uint32_t t = 0; t < n; ++t) {
+    if (triples_[t].has_probability) by_probability_.push_back(t);
+  }
+  std::sort(by_probability_.begin(), by_probability_.end(),
+            [this](uint32_t a, uint32_t b) {
+              if (triples_[a].probability != triples_[b].probability) {
+                return triples_[a].probability > triples_[b].probability;
+              }
+              return a < b;
+            });
+
+  // Hash indexes.
+  item_index_.clear();
+  item_index_.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (!item_index_
+             .emplace(PackKey(items_[i].subject, items_[i].predicate), i)
+             .second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate data item (%s, %s)",
+                    subjects_.Get(items_[i].subject).c_str(),
+                    predicates_.Get(items_[i].predicate).c_str()));
+    }
+  }
+  triple_index_.clear();
+  triple_index_.reserve(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (!triple_index_
+             .emplace(PackKey(triples_[t].item, triples_[t].object), t)
+             .second) {
+      const Item& item = items_[triples_[t].item];
+      return Status::InvalidArgument(
+          StrFormat("duplicate triple (%s, %s, %s)",
+                    subjects_.Get(item.subject).c_str(),
+                    predicates_.Get(item.predicate).c_str(),
+                    objects_.Get(triples_[t].object).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+KbVerdict FusedKB::MakeVerdict(uint32_t t) const {
+  const Triple& tr = triples_[t];
+  const Item& item = items_[tr.item];
+  KbVerdict v;
+  v.subject = subjects_.Get(item.subject);
+  v.predicate = predicates_.Get(item.predicate);
+  v.object = objects_.Get(tr.object);
+  v.probability = tr.probability;
+  v.calibrated = tr.calibrated;
+  v.has_probability = tr.has_probability;
+  v.from_fallback = tr.from_fallback;
+  v.winner = item.winner == t;
+  v.index = t;
+  return v;
+}
+
+KbVerdict FusedKB::verdict(uint32_t index) const {
+  KF_CHECK(index < triples_.size());
+  return MakeVerdict(index);
+}
+
+std::vector<uint32_t> FusedKB::supporters(uint32_t index) const {
+  KF_CHECK(index < triples_.size());
+  return std::vector<uint32_t>(
+      support_provs_.begin() + support_offsets_[index],
+      support_provs_.begin() + support_offsets_[index + 1]);
+}
+
+std::optional<KbVerdict> FusedKB::Lookup(std::string_view subject,
+                                         std::string_view predicate) const {
+  uint32_t s = subjects_.Find(subject);
+  uint32_t p = predicates_.Find(predicate);
+  if (s == StringInterner::kInvalidId || p == StringInterner::kInvalidId) {
+    return std::nullopt;
+  }
+  auto it = item_index_.find(PackKey(s, p));
+  if (it == item_index_.end() || items_[it->second].winner == kNone) {
+    return std::nullopt;
+  }
+  return MakeVerdict(items_[it->second].winner);
+}
+
+std::optional<KbVerdict> FusedKB::Verdict(std::string_view subject,
+                                          std::string_view predicate,
+                                          std::string_view object) const {
+  uint32_t s = subjects_.Find(subject);
+  uint32_t p = predicates_.Find(predicate);
+  uint32_t o = objects_.Find(object);
+  if (s == StringInterner::kInvalidId || p == StringInterner::kInvalidId ||
+      o == StringInterner::kInvalidId) {
+    return std::nullopt;
+  }
+  auto item = item_index_.find(PackKey(s, p));
+  if (item == item_index_.end()) return std::nullopt;
+  auto triple = triple_index_.find(PackKey(item->second, o));
+  if (triple == triple_index_.end()) return std::nullopt;
+  return MakeVerdict(triple->second);
+}
+
+std::vector<KbEvidence> FusedKB::Explain(std::string_view subject,
+                                         std::string_view predicate,
+                                         std::string_view object) const {
+  std::vector<KbEvidence> out;
+  std::optional<KbVerdict> v = Verdict(subject, predicate, object);
+  if (!v) return out;
+  const uint32_t target = v->index;
+  const uint32_t item = triples_[target].item;
+  auto append = [this, &out](uint32_t t, bool supports) {
+    for (uint32_t s = support_offsets_[t]; s < support_offsets_[t + 1];
+         ++s) {
+      const uint32_t p = support_provs_[s];
+      KbEvidence e;
+      e.provenance = p;
+      e.description = provenances_[p].description;
+      e.object = objects_.Get(triples_[t].object);
+      e.accuracy = provenances_[p].accuracy;
+      e.vote = VoteWeight(e.accuracy);
+      e.evaluated = provenances_[p].evaluated;
+      e.supports = supports;
+      out.push_back(e);
+    }
+  };
+  append(target, /*supports=*/true);
+  for (uint32_t s = item_offsets_[item]; s < item_offsets_[item + 1]; ++s) {
+    const uint32_t t = item_triples_[s];
+    if (t != target) append(t, /*supports=*/false);
+  }
+  return out;
+}
+
+std::vector<KbVerdict> FusedKB::TopK(size_t k) const {
+  std::vector<KbVerdict> out;
+  out.reserve(std::min(k, by_probability_.size()));
+  for (uint32_t t : by_probability_) {
+    if (out.size() >= k) break;
+    out.push_back(MakeVerdict(t));
+  }
+  return out;
+}
+
+std::vector<KbVerdict> FusedKB::AboveThreshold(double min_probability) const {
+  std::vector<KbVerdict> out;
+  for (uint32_t t : by_probability_) {
+    if (triples_[t].probability < min_probability) break;
+    out.push_back(MakeVerdict(t));
+  }
+  return out;
+}
+
+std::string FusedKB::ToTsv() const {
+  extract::FusedKbTsv tsv;
+  tsv.method = method_;
+  tsv.num_rounds = num_rounds_;
+  tsv.provenances = provenances_;
+  tsv.triples.reserve(triples_.size());
+  for (uint32_t t = 0; t < triples_.size(); ++t) {
+    const Triple& tr = triples_[t];
+    const Item& item = items_[tr.item];
+    extract::FusedKbTripleRow row;
+    row.subject = subjects_.Get(item.subject);
+    row.predicate = predicates_.Get(item.predicate);
+    row.object = objects_.Get(tr.object);
+    row.probability = tr.probability;
+    row.calibrated = tr.calibrated;
+    row.has_probability = tr.has_probability;
+    row.from_fallback = tr.from_fallback;
+    row.winner = item.winner == t;
+    row.supporters = supporters(t);
+    tsv.triples.push_back(std::move(row));
+  }
+  return extract::WriteFusedKbTsv(tsv);
+}
+
+Status FusedKB::ExportTsv(const std::string& path) const {
+  return extract::WriteFile(path, ToTsv());
+}
+
+Result<FusedKB> FusedKB::FromTsv(const std::string& text) {
+  Result<extract::FusedKbTsv> parsed = extract::ReadFusedKbTsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const extract::FusedKbTsv& tsv = *parsed;
+
+  FusedKB kb;
+  kb.method_ = tsv.method;
+  kb.num_rounds_ = tsv.num_rounds;
+  for (const extract::FusedKbProvRow& p : tsv.provenances) {
+    if (!ValidUnitInterval(p.accuracy)) {
+      return Status::InvalidArgument(
+          StrFormat("provenance '%s': accuracy %g outside [0,1]",
+                    p.description.c_str(), p.accuracy));
+    }
+  }
+  kb.provenances_ = tsv.provenances;
+
+  std::unordered_map<uint64_t, uint32_t> item_of;
+  kb.support_offsets_.assign(1, 0);
+  kb.triples_.reserve(tsv.triples.size());
+  for (const extract::FusedKbTripleRow& row : tsv.triples) {
+    if (!ValidUnitInterval(row.probability) ||
+        !ValidUnitInterval(row.calibrated)) {
+      return Status::InvalidArgument(
+          StrFormat("triple (%s, %s, %s): probabilities outside [0,1]",
+                    row.subject.c_str(), row.predicate.c_str(),
+                    row.object.c_str()));
+    }
+    uint32_t s = kb.subjects_.Intern(row.subject);
+    uint32_t p = kb.predicates_.Intern(row.predicate);
+    auto [it, fresh] = item_of.try_emplace(
+        PackKey(s, p), static_cast<uint32_t>(kb.items_.size()));
+    if (fresh) {
+      Item item;
+      item.subject = s;
+      item.predicate = p;
+      kb.items_.push_back(item);
+    }
+    Triple tr;
+    tr.item = it->second;
+    tr.object = kb.objects_.Intern(row.object);
+    tr.probability = row.probability;
+    tr.calibrated = row.calibrated;
+    tr.has_probability = row.has_probability;
+    tr.from_fallback = row.from_fallback;
+    kb.triples_.push_back(tr);
+    kb.support_provs_.insert(kb.support_provs_.end(),
+                             row.supporters.begin(), row.supporters.end());
+    kb.support_offsets_.push_back(
+        static_cast<uint32_t>(kb.support_provs_.size()));
+  }
+  KF_RETURN_IF_ERROR(kb.BuildIndexes());
+
+  // The winner column is derived data; an inconsistent file (hand-edited
+  // or truncated) is rejected rather than silently re-derived.
+  for (uint32_t t = 0; t < kb.triples_.size(); ++t) {
+    const bool derived = kb.items_[kb.triples_[t].item].winner == t;
+    if (derived != tsv.triples[t].winner) {
+      const extract::FusedKbTripleRow& row = tsv.triples[t];
+      return Status::InvalidArgument(
+          StrFormat("triple (%s, %s, %s): winner flag inconsistent with "
+                    "the probabilities",
+                    row.subject.c_str(), row.predicate.c_str(),
+                    row.object.c_str()));
+    }
+  }
+  return kb;
+}
+
+Result<FusedKB> FusedKB::ImportTsv(const std::string& path) {
+  Result<std::string> text = extract::ReadFile(path);
+  if (!text.ok()) return text.status();
+  return FromTsv(*text);
+}
+
+bool operator==(const FusedKB& a, const FusedKB& b) {
+  if (a.method_ != b.method_ || a.num_rounds_ != b.num_rounds_ ||
+      a.provenances_ != b.provenances_ ||
+      a.triples_.size() != b.triples_.size()) {
+    return false;
+  }
+  for (uint32_t t = 0; t < a.triples_.size(); ++t) {
+    const FusedKB::Triple& ta = a.triples_[t];
+    const FusedKB::Triple& tb = b.triples_[t];
+    const FusedKB::Item& ia = a.items_[ta.item];
+    const FusedKB::Item& ib = b.items_[tb.item];
+    if (a.subjects_.Get(ia.subject) != b.subjects_.Get(ib.subject) ||
+        a.predicates_.Get(ia.predicate) !=
+            b.predicates_.Get(ib.predicate) ||
+        a.objects_.Get(ta.object) != b.objects_.Get(tb.object) ||
+        ta.probability != tb.probability ||
+        ta.calibrated != tb.calibrated ||
+        ta.has_probability != tb.has_probability ||
+        ta.from_fallback != tb.from_fallback ||
+        (ia.winner == t) != (ib.winner == t)) {
+      return false;
+    }
+    if (a.support_offsets_[t + 1] - a.support_offsets_[t] !=
+        b.support_offsets_[t + 1] - b.support_offsets_[t]) {
+      return false;
+    }
+    if (!std::equal(a.support_provs_.begin() + a.support_offsets_[t],
+                    a.support_provs_.begin() + a.support_offsets_[t + 1],
+                    b.support_provs_.begin() + b.support_offsets_[t])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kf

@@ -1,0 +1,229 @@
+// kf::FusedKB — the fused knowledge base as a first-class API object. The
+// paper's end product is not a vector of floats but a
+// probability-annotated KB: a calibrated truth probability per triple,
+// the winning value per data item, and the supporting/contradicting
+// provenances (with their converged accuracies) behind each verdict.
+// Session::Snapshot() materializes exactly that from the last run:
+//
+//   auto kb = session.Snapshot(naming);            // Result<FusedKB>
+//   auto v = kb->Lookup("TomCruise", "birth_date");  // winning value
+//   auto why = kb->Explain("TomCruise", "birth_date", "1962-07-03");
+//   for (auto& v : kb->TopK(10)) ...               // ordered by probability
+//   kb->ExportTsv("fused.tsv");                    // outlives the Session
+//   auto back = FusedKB::ImportTsv("fused.tsv");   // *back == *kb
+//
+// A FusedKB is a compact, session-independent deep copy: it owns its
+// string tables and indexes, so it stays valid and bit-identical after
+// the Session appends, re-fuses, switches methods, or is destroyed — the
+// serializable unit the scale-out roadmap ships between processes.
+// Lookups are O(group): hash to the data item or triple, touch only that
+// group's claims — never an O(corpus) scan.
+#ifndef KF_KF_FUSED_KB_H_
+#define KF_KF_FUSED_KB_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/label.h"
+#include "common/status.h"
+#include "extract/dataset.h"
+#include "extract/tsv_io.h"
+#include "fusion/engine.h"
+
+namespace kf {
+
+/// Resolves interned dataset ids to the strings stored in a snapshot.
+/// Every callback is optional: missing ones synthesize stable "s12"-style
+/// names, so id-only datasets (e.g. synthetic corpora) snapshot fine.
+/// Extractor names come from the dataset's ExtractorMeta table.
+/// Callbacks are only invoked during the Snapshot() call and may borrow.
+struct SnapshotNaming {
+  std::function<std::string(kb::EntityId)> subject;
+  std::function<std::string(kb::PredicateId)> predicate;
+  std::function<std::string(kb::ValueId)> object;
+  std::function<std::string(extract::UrlId)> url;
+  std::function<std::string(extract::SiteId)> site;
+  std::function<std::string(extract::PatternId)> pattern;
+
+  /// The name tables of a TSV-loaded corpus. Borrows `corpus`; use the
+  /// returned naming before the corpus goes away.
+  static SnapshotNaming FromCorpus(const extract::TsvCorpus& corpus);
+};
+
+/// One fused triple's verdict. The string_views point into the FusedKB's
+/// own tables and stay valid for its lifetime.
+struct KbVerdict {
+  std::string_view subject;
+  std::string_view predicate;
+  std::string_view object;
+  /// The raw fused probability, bit-identical to the FusionResult the
+  /// snapshot was taken from. Meaningful only when has_probability.
+  double probability = 0.0;
+  /// Calibrated through the gold sample's calibration bins when the
+  /// snapshot got gold labels; equal to `probability` otherwise.
+  double calibrated = 0.0;
+  bool has_probability = false;
+  bool from_fallback = false;
+  /// Whether this value won its data item (highest probability among the
+  /// item's predicted values; ties break toward the earlier triple).
+  bool winner = false;
+  /// Triple index within the KB (== the dataset TripleId at snapshot).
+  uint32_t index = 0;
+};
+
+/// One provenance's contribution to a verdict (one Explain() row).
+struct KbEvidence {
+  /// Index into FusedKB::provenance().
+  uint32_t provenance = 0;
+  std::string_view description;
+  /// The value this provenance actually claimed (== the queried object
+  /// for supporting rows, a rival value for contradicting rows).
+  std::string_view object;
+  /// The provenance's converged accuracy after the run.
+  double accuracy = 0.0;
+  /// Its vote weight in the scorers' log-odds space: ln(a / (1 - a)).
+  double vote = 0.0;
+  /// Whether the accuracy is data-driven (vs the default).
+  bool evaluated = false;
+  /// True: claims the queried value. False: claims a rival value of the
+  /// same data item, i.e. contradicts under the single-truth assumption.
+  bool supports = false;
+};
+
+class FusedKB {
+ public:
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  FusedKB() = default;
+  /// Owns interners; movable like them, not copyable (export/import or
+  /// re-snapshot to duplicate).
+  FusedKB(FusedKB&&) = default;
+  FusedKB& operator=(FusedKB&&) = default;
+
+  // ---- queries ----
+
+  /// The winning value of data item (subject, predicate), with its
+  /// probability. Empty when the item is unknown or none of its values
+  /// received a probability.
+  std::optional<KbVerdict> Lookup(std::string_view subject,
+                                  std::string_view predicate) const;
+
+  /// The verdict on one specific triple (which may be a losing value of
+  /// its item). Empty when the triple is not in the KB.
+  std::optional<KbVerdict> Verdict(std::string_view subject,
+                                   std::string_view predicate,
+                                   std::string_view object) const;
+
+  /// Why the KB believes what it believes about a triple: every
+  /// provenance of the triple's data item, with its converged accuracy
+  /// and vote weight — supporting rows first, then the contradicting
+  /// claims on rival values. Empty when the triple is not in the KB.
+  std::vector<KbEvidence> Explain(std::string_view subject,
+                                  std::string_view predicate,
+                                  std::string_view object) const;
+
+  /// The k highest-probability predicted triples, probability descending
+  /// (ties break toward the earlier triple).
+  std::vector<KbVerdict> TopK(size_t k) const;
+
+  /// Every predicted triple with probability >= min_probability, ordered
+  /// as TopK.
+  std::vector<KbVerdict> AboveThreshold(double min_probability) const;
+
+  // ---- raw access (index order == snapshot TripleId order) ----
+
+  size_t num_triples() const { return triples_.size(); }
+  size_t num_items() const { return items_.size(); }
+  size_t num_provenances() const { return provenances_.size(); }
+  /// Registry name of the method that produced the KB.
+  const std::string& method() const { return method_; }
+  size_t num_rounds() const { return num_rounds_; }
+
+  KbVerdict verdict(uint32_t index) const;
+  const extract::FusedKbProvRow& provenance(uint32_t p) const {
+    return provenances_[p];
+  }
+  /// Supporting provenance indices of one triple (ascending).
+  std::vector<uint32_t> supporters(uint32_t index) const;
+
+  // ---- serialization (the extract::FusedKbTsv schema) ----
+
+  std::string ToTsv() const;
+  Status ExportTsv(const std::string& path) const;
+  static Result<FusedKB> FromTsv(const std::string& text);
+  static Result<FusedKB> ImportTsv(const std::string& path);
+
+  /// Deep content equality: method, rounds, provenance table, and every
+  /// triple's names, probabilities (bitwise), flags, and supporters.
+  friend bool operator==(const FusedKB& a, const FusedKB& b);
+  friend bool operator!=(const FusedKB& a, const FusedKB& b) {
+    return !(a == b);
+  }
+
+  /// Builds the snapshot from retained engine state: `result` must be
+  /// the engine's last run over `dataset` (kf::Session::Snapshot passes
+  /// exactly that). With `gold` (sized like the result), raw scores are
+  /// additionally mapped through the gold sample's calibration bins into
+  /// KbVerdict::calibrated. Fails on an empty result or mis-sized gold.
+  static Result<FusedKB> Snapshot(const extract::ExtractionDataset& dataset,
+                                  const fusion::FusionEngine& engine,
+                                  const fusion::FusionResult& result,
+                                  std::string method,
+                                  const SnapshotNaming& naming,
+                                  const std::vector<Label>* gold = nullptr);
+
+ private:
+  struct Triple {
+    uint32_t item = 0;    // index into items_
+    uint32_t object = 0;  // id in objects_
+    double probability = 0.0;
+    double calibrated = 0.0;
+    bool has_probability = false;
+    bool from_fallback = false;
+  };
+  struct Item {
+    uint32_t subject = 0;    // id in subjects_
+    uint32_t predicate = 0;  // id in predicates_
+    uint32_t winner = kNone;  // triple index, kNone when nothing predicted
+  };
+
+  KbVerdict MakeVerdict(uint32_t t) const;
+  /// Derives items' triple lists, winners, the probability order, and
+  /// the hash indexes from triples_/items_. Fails on duplicate triples.
+  Status BuildIndexes();
+
+  std::string method_;
+  size_t num_rounds_ = 0;
+
+  StringInterner subjects_;
+  StringInterner predicates_;
+  StringInterner objects_;
+  std::vector<Item> items_;
+  std::vector<Triple> triples_;
+  std::vector<extract::FusedKbProvRow> provenances_;
+
+  /// Triple -> supporting provenance indices (CSR, spans ascending).
+  std::vector<uint32_t> support_offsets_{0};
+  std::vector<uint32_t> support_provs_;
+
+  /// Item -> its triples in index order (CSR).
+  std::vector<uint32_t> item_offsets_{0};
+  std::vector<uint32_t> item_triples_;
+
+  /// Predicted triples by (probability desc, index asc).
+  std::vector<uint32_t> by_probability_;
+  /// (subject id, predicate id) -> item index.
+  std::unordered_map<uint64_t, uint32_t> item_index_;
+  /// (item index, object id) -> triple index.
+  std::unordered_map<uint64_t, uint32_t> triple_index_;
+};
+
+}  // namespace kf
+
+#endif  // KF_KF_FUSED_KB_H_

@@ -76,6 +76,22 @@ Result<fusion::FusionResult> Session::Refuse() {
   return result;
 }
 
+Result<FusedKB> Session::Snapshot(const SnapshotNaming& naming,
+                                  const std::vector<Label>* gold) const {
+  if (!last_) {
+    return Status::FailedPrecondition("Snapshot() before any Fuse()");
+  }
+  const fusion::FusionEngine* engine = fuser_ ? fuser_->engine() : nullptr;
+  if (engine == nullptr) {
+    return Status::FailedPrecondition(
+        method_ +
+        " does not retain engine state; Snapshot() needs an engine method "
+        "(vote, accu, popaccu)");
+  }
+  return FusedKB::Snapshot(*dataset_, *engine, *last_, method_, naming,
+                           gold);
+}
+
 Result<eval::ModelReport> Session::Evaluate(
     const std::vector<Label>& gold) const {
   if (!last_) {

@@ -31,6 +31,7 @@
 #include "fusion/fuser.h"
 #include "fusion/options.h"
 #include "kb/value_hierarchy.h"
+#include "kf/fused_kb.h"
 
 namespace kf {
 
@@ -86,6 +87,21 @@ class Session {
 
   /// Evaluates the last result against per-triple gold labels.
   Result<eval::ModelReport> Evaluate(const std::vector<Label>& gold) const;
+
+  /// Materializes the last run as a kf::FusedKB: a queryable, exportable,
+  /// session-independent copy of the verdicts — per-triple probability
+  /// (bit-identical to the last result), per-item winning value, and the
+  /// converged per-provenance accuracies behind each verdict. The
+  /// snapshot owns everything it references, so it stays valid (and
+  /// unchanged) after further Append/Refuse/Fuse calls or the Session's
+  /// destruction. `naming` resolves ids to strings (defaults synthesize
+  /// stable names); with `gold` (sized like the last result) verdicts
+  /// also carry calibrated probabilities from the gold sample's
+  /// calibration bins. Fails before the first Fuse(), when the last
+  /// method was not engine-backed (vote / accu / popaccu), and on an
+  /// empty dataset.
+  Result<FusedKB> Snapshot(const SnapshotNaming& naming = {},
+                           const std::vector<Label>* gold = nullptr) const;
 
   // ---- introspection ----
 

@@ -114,5 +114,23 @@ TEST_P(BucketCountSweep, WeightedDeviationStableAcrossL) {
 INSTANTIATE_TEST_SUITE_P(Buckets, BucketCountSweep,
                          ::testing::Values(5, 10, 20, 50));
 
+TEST(CalibrationTest, CalibrateMapsThroughTheBucketTruthRates) {
+  Probe s;
+  // Bucket [0.8, 0.85): predicted ~0.8 but only 1/3 true.
+  s.Add(0.80, Label::kTrue);
+  s.Add(0.81, Label::kFalse);
+  s.Add(0.82, Label::kFalse);
+  // The p == 1 bucket: always true.
+  s.Add(1.0, Label::kTrue);
+  auto curve = ComputeCalibration(s.prob, s.has, s.labels, 20);
+  // Any probability landing in a populated bucket maps to the bucket's
+  // observed truth rate...
+  EXPECT_DOUBLE_EQ(Calibrate(curve, 0.80), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Calibrate(curve, 0.849), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Calibrate(curve, 1.0), 1.0);
+  // ...and an empty bucket falls back to the raw score.
+  EXPECT_DOUBLE_EQ(Calibrate(curve, 0.25), 0.25);
+}
+
 }  // namespace
 }  // namespace kf::eval

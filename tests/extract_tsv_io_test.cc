@@ -100,5 +100,75 @@ TEST(TsvIoTest, MissingFileIsIOError) {
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
 
+// ---- the fused-KB schema ----
+
+FusedKbTsv SampleKb() {
+  FusedKbTsv kb;
+  kb.method = "popaccu";
+  kb.num_rounds = 7;
+  kb.provenances.push_back({"extractor=dom|site=a.org", 0.91, true, 3});
+  kb.provenances.push_back({"extractor=txt|site=c.org", 0.2, false, 1});
+  FusedKbTripleRow t;
+  t.subject = "TomCruise";
+  t.predicate = "birth_date";
+  t.object = "1962-07-03";
+  // An awkward double that must survive the text round-trip bit-exactly.
+  t.probability = 0.1 + 0.2;
+  t.calibrated = 1.0 / 3.0;
+  t.has_probability = true;
+  t.winner = true;
+  t.supporters = {0};
+  kb.triples.push_back(t);
+  FusedKbTripleRow u;
+  u.subject = "TomCruise";
+  u.predicate = "birth_date";
+  u.object = "1963-07-03";
+  u.has_probability = false;
+  u.supporters = {0, 1};
+  kb.triples.push_back(u);
+  return kb;
+}
+
+TEST(FusedKbTsvTest, WriteReadRoundTripsLosslessly) {
+  FusedKbTsv kb = SampleKb();
+  std::string text = WriteFusedKbTsv(kb);
+  auto back = ReadFusedKbTsv(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->method, kb.method);
+  EXPECT_EQ(back->num_rounds, kb.num_rounds);
+  ASSERT_EQ(back->provenances.size(), kb.provenances.size());
+  EXPECT_TRUE(back->provenances[0] == kb.provenances[0]);
+  EXPECT_TRUE(back->provenances[1] == kb.provenances[1]);
+  ASSERT_EQ(back->triples.size(), kb.triples.size());
+  EXPECT_TRUE(back->triples[0] == kb.triples[0]);  // incl. bitwise doubles
+  EXPECT_TRUE(back->triples[1] == kb.triples[1]);
+  // Serialization is a fixed point.
+  EXPECT_EQ(WriteFusedKbTsv(*back), text);
+}
+
+TEST(FusedKbTsvTest, ReadRejectsMalformedRows) {
+  EXPECT_FALSE(ReadFusedKbTsv("").ok());  // no M row
+  EXPECT_FALSE(ReadFusedKbTsv("M\taccu\t3\nM\taccu\t3\n").ok());
+  EXPECT_FALSE(ReadFusedKbTsv("M\taccu\tmany\n").ok());
+  EXPECT_FALSE(ReadFusedKbTsv("M\taccu\t3\nX\twhat\n").ok());
+  EXPECT_FALSE(ReadFusedKbTsv("M\taccu\t3\nP\tsrc\t0.8\t1\n").ok());
+  EXPECT_FALSE(
+      ReadFusedKbTsv("M\taccu\t3\nP\tsrc\thigh\t1\t3\n").ok());
+  EXPECT_FALSE(
+      ReadFusedKbTsv("M\taccu\t3\nT\ts\tp\to\t0.9\t0.9\t1\t0\t1\n").ok());
+  EXPECT_FALSE(
+      ReadFusedKbTsv("M\taccu\t3\nT\ts\tp\to\t0.9\t0.9\t2\t0\t1\t\n")
+          .ok());
+  // Supporter referencing a provenance that never appears.
+  EXPECT_FALSE(
+      ReadFusedKbTsv("M\taccu\t3\nT\ts\tp\to\t0.9\t0.9\t1\t0\t1\t4\n")
+          .ok());
+  // Comments and blank lines are fine.
+  auto ok = ReadFusedKbTsv("# kf-fused-kb v1\n\nM\taccu\t3\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->method, "accu");
+  EXPECT_TRUE(ok->triples.empty());
+}
+
 }  // namespace
 }  // namespace kf::extract
