@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "bench/bench_util.h"
+#include "common/logging.h"
 #include "eval/gold_standard.h"
 #include "fusion/claim_graph.h"
 #include "fusion/claims.h"
@@ -146,6 +147,63 @@ void BM_StageIISweep(benchmark::State& state) {
 BENCHMARK(BM_StageIISweep)
     ->Args({4, 1})
     ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- isolated scorer cost (the Stage I inner loop) ----
+
+// Every item group of the scale-1 claim graph, materialized once as
+// sorted ItemClaims buffers at the default accuracy. Scoring them all is
+// exactly Stage I's scorer work with the filtering/scatter stripped away,
+// so BM_ScorerOnly isolates the run-length scorer cost from the rest of
+// the sweep.
+const std::vector<fusion::ItemClaimsBuffer>& ScorerGroupsAtScale1() {
+  static const std::vector<fusion::ItemClaimsBuffer>& groups = *[] {
+    const auto& corpus = CorpusAtScale(1.0);
+    fusion::ClaimGraph graph(corpus.dataset,
+                             extract::Granularity::ExtractorUrl(),
+                             /*num_shards=*/64);
+    auto* out = new std::vector<fusion::ItemClaimsBuffer>();
+    for (size_t s = 0; s < graph.num_shards(); ++s) {
+      const fusion::ClaimGraph::Shard& sh = graph.shard(s);
+      for (size_t g = 0; g < sh.num_items(); ++g) {
+        fusion::ItemClaimsBuffer group;
+        for (uint32_t i = sh.item_offsets[g]; i < sh.item_offsets[g + 1];
+             ++i) {
+          group.push(sh.claim_triple[i], 0.8);
+        }
+        KF_CHECK(group.sorted());  // the shard sorted-group invariant
+        out->push_back(std::move(group));
+      }
+    }
+    return out;
+  }();
+  return groups;
+}
+
+void BM_ScorerOnly(benchmark::State& state, const fusion::Scorer& scorer) {
+  const auto& groups = ScorerGroupsAtScale1();
+  fusion::TripleProbs probs;
+  int64_t claims = 0;
+  for (const auto& g : groups) claims += static_cast<int64_t>(g.size());
+  for (auto _ : state) {
+    for (const auto& g : groups) {
+      probs.clear();
+      scorer.Score(g.view(), &probs);
+      benchmark::DoNotOptimize(probs.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * claims);
+  state.counters["groups"] = static_cast<double>(groups.size());
+}
+// BENCHMARK_CAPTURE pastes the argument expression into the run lambda,
+// so these temporaries are constructed per run and live for the whole
+// call — no leak, unlike a pasted `new`.
+BENCHMARK_CAPTURE(BM_ScorerOnly, vote, fusion::VoteScorer())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScorerOnly, accu,
+                  fusion::AccuScorer(/*n_false_values=*/100))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScorerOnly, popaccu, fusion::PopAccuScorer())
     ->Unit(benchmark::kMillisecond);
 
 // Incremental append: ingest the last `batch` records into an
@@ -358,4 +416,21 @@ BENCHMARK(BM_GoldStandard);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a context marker for the binary's own build type:
+// google-benchmark's stock "library_build_type" describes how the
+// *benchmark library* was compiled, which is how a debug baseline once
+// slipped into BENCH_perf.json unnoticed. scripts/bench.sh refuses to
+// record from a non-release build, and scripts/bench_compare.py warns
+// when either side's kf_build_type is "debug".
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("kf_build_type", "release");
+#else
+  benchmark::AddCustomContext("kf_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,16 +7,50 @@
 #
 # Extra arguments after the mode are forwarded to bench_perf (e.g.
 # --benchmark_filter=BM_StageISweep). BUILD_DIR overrides ./build.
+#
+# BENCH_perf.json is only ever recorded from a Release build: the script
+# configures with -DCMAKE_BUILD_TYPE=Release by default and refuses to
+# record when BUILD_DIR's cache says otherwise (a debug baseline once
+# slipped in and made every optimization look 3x better than it was).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 BIN="${BUILD_DIR}/bench/bench_perf"
 
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
 if [[ ! -x "${BIN}" ]]; then
-  echo "bench_perf not built; configuring ${BUILD_DIR}..." >&2
-  cmake -B "${BUILD_DIR}" -S . > /dev/null
-  cmake --build "${BUILD_DIR}" --target bench_perf -j"$(nproc 2>/dev/null || echo 4)"
+  if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+    # Respect an already-configured dir (never flip e.g. an asan cache to
+    # Release behind the user's back); the recording guard below still
+    # refuses non-Release output.
+    echo "bench_perf not built; building in existing ${BUILD_DIR}..." >&2
+  else
+    echo "bench_perf not built; configuring ${BUILD_DIR} (Release)..." >&2
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  fi
+  # Tolerate exactly one kind of failure — the bench_perf target not
+  # existing (bench/CMakeLists skips it when Google Benchmark is absent),
+  # which the check below turns into a graceful skip. Real compile/link
+  # errors must still fail loudly: a broken perf binary reported as a
+  # clean skip is the silent rot this script exists to prevent.
+  if ! build_out="$(cmake --build "${BUILD_DIR}" --target bench_perf \
+      -j"$(nproc 2>/dev/null || echo 4)" 2>&1)"; then
+    # Only the bench_perf *target itself* being unknown is benign; a
+    # missing dependency or source ("No rule to make target 'src/...h'" /
+    # '...bench_perf.cc') or any compile error is real breakage. The
+    # quoted-'bench_perf' form is how make/ninja name a missing top-level
+    # target, and it cannot match a file path like 'bench/bench_perf.cc'.
+    if ! grep -qiE "(no rule to make target|unknown target|cannot find target).*'bench_perf'" \
+        <<< "${build_out}"; then
+      printf '%s\n' "${build_out}" >&2
+      exit 1
+    fi
+  fi
 fi
 if [[ ! -x "${BIN}" ]]; then
   # bench/CMakeLists skips bench_perf when Google Benchmark is absent.
@@ -26,13 +60,24 @@ fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
-  # One pass over the claim-graph + streaming benches so perf binaries
-  # cannot rot in CI; min_time is tiny because only liveness matters here.
+  # One pass over the claim-graph + scorer + streaming benches so perf
+  # binaries cannot rot in CI; min_time is tiny because only liveness
+  # matters here.
   exec "${BIN}" \
-    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK)' \
+    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|ScorerOnly|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK)' \
     --benchmark_min_time=0.01 "$@"
+fi
+
+bt="$(build_type)"
+if [[ "${bt}" != "Release" ]]; then
+  echo "refusing to record BENCH_perf.json: ${BUILD_DIR} is configured as" \
+    "'${bt:-unknown}', not Release. Re-run with a Release build dir, e.g." \
+    "cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
 fi
 
 "${BIN}" --benchmark_format=console \
   --benchmark_out=BENCH_perf.json --benchmark_out_format=json "$@"
 echo "recorded BENCH_perf.json" >&2
+echo "compare against a previous baseline with:" >&2
+echo "  scripts/bench_compare.py <old.json> BENCH_perf.json" >&2

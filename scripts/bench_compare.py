@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files (e.g. BENCH_perf.json) by name.
+
+    scripts/bench_compare.py OLD.json NEW.json [--threshold PCT] [--metric M]
+
+Prints one row per benchmark present in either file with the % delta of
+real_time (negative = faster). Exits 1 when any benchmark regressed by
+more than --threshold percent (default 10), which makes it usable as a
+CI / pre-commit gate:
+
+    ./scripts/bench.sh                           # records BENCH_perf.json
+    scripts/bench_compare.py old.json BENCH_perf.json --threshold 10
+
+Only per-iteration entries are compared (aggregate rows such as _mean /
+_stddev are skipped). Baseline benchmarks missing from the candidate also
+fail the gate (a renamed or deleted bench must not silently drop out of
+comparison); benches only in the candidate are informational. A "debug"
+kf_build_type in either context block is reported loudly: debug numbers
+must never serve as a baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    reps = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip _mean/_median/_stddev aggregates
+        reps.setdefault(b["name"], []).append(b)
+    # With --benchmark_repetitions every repetition shares one name;
+    # compare the mean over repetitions rather than whichever repetition
+    # happened to be listed last.
+    runs = {}
+    for name, entries in reps.items():
+        merged = dict(entries[0])
+        if len(entries) > 1:
+            for metric in ("real_time", "cpu_time"):
+                merged[metric] = sum(e[metric] for e in entries) / len(entries)
+        runs[name] = merged
+    return doc.get("context", {}), runs
+
+
+def build_type(context):
+    # kf_build_type is bench_perf's own marker for how the *binary* was
+    # compiled. Deliberately NOT falling back to library_build_type: that
+    # only describes the benchmark library (often a debug build even under
+    # a Release configure), so inheriting it would cry wolf on every
+    # valid pre-kf_build_type recording.
+    return context.get("kf_build_type", "unknown")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline JSON (e.g. a stashed BENCH_perf.json)")
+    ap.add_argument("new", help="candidate JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="fail (exit 1) when any benchmark slows down by more than this "
+        "percent (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--metric",
+        default="real_time",
+        choices=["real_time", "cpu_time"],
+        help="which per-iteration time to compare (default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    old_ctx, old_runs = load(args.old)
+    new_ctx, new_runs = load(args.new)
+
+    for label, ctx in (("old", old_ctx), ("new", new_ctx)):
+        bt = build_type(ctx)
+        if bt == "debug":
+            print(f"WARNING: {label} baseline kf_build_type={bt!r} — "
+                  "not a release recording", file=sys.stderr)
+        elif bt != "release":
+            print(f"note: {label} baseline has no kf_build_type marker "
+                  "(pre-marker recording); cannot verify it was Release",
+                  file=sys.stderr)
+
+    names = sorted(set(old_runs) | set(new_runs))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+    regressions = []
+    vanished = []  # baseline benches absent from the candidate
+    mismatched = []  # time-unit changes, incomparable
+    for name in names:
+        o, n = old_runs.get(name), new_runs.get(name)
+        if o is None or n is None:
+            status = "only in new" if o is None else "only in old"
+            t = (n or o)[args.metric]
+            unit = (n or o).get("time_unit", "ns")
+            print(f"{name:<{width}}  {'-':>12}  {t:>10.3f}{unit}  {status:>8}"
+                  if o is None else
+                  f"{name:<{width}}  {t:>10.3f}{unit}  {'-':>12}  {status:>8}")
+            if n is None:
+                vanished.append(name)
+            continue
+        if o.get("time_unit") != n.get("time_unit"):
+            # A unit change must not silently drop the bench out of the
+            # gate, same rationale as the vanished-baseline failure.
+            print(f"{name:<{width}}  incomparable time units "
+                  f"({o.get('time_unit')} vs {n.get('time_unit')})")
+            mismatched.append(name)
+            continue
+        unit = o.get("time_unit", "ns")
+        ot, nt = o[args.metric], n[args.metric]
+        delta = (nt - ot) / ot * 100.0 if ot else float("inf")
+        print(f"{name:<{width}}  {ot:>10.3f}{unit}  {nt:>10.3f}{unit}  "
+              f"{delta:>+7.1f}%")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    failed = False
+    if mismatched:
+        print(f"\n{len(mismatched)} benchmark(s) with incomparable time "
+              "units (re-record the baseline):", file=sys.stderr)
+        for name in mismatched:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+    if vanished:
+        # A removed/renamed benchmark escapes the delta gate entirely, so
+        # it must fail too: a silently dropped baseline is how a
+        # regression hides from CI.
+        print(f"\n{len(vanished)} baseline benchmark(s) missing from "
+              f"{args.new}:", file=sys.stderr)
+        for name in vanished:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "fusion/column_sort.h"
 
 namespace kf::fusion {
 
@@ -116,18 +117,42 @@ void ClaimGraph::RebuildShard(const extract::ExtractionDataset& dataset,
     shard->claim_confidence[pos] = flat_conf[i];
   }
 
-  // Per-item multi-support flag: some triple of the item has >= 2 claims.
+  // Establish the sorted-group invariant: each item group sorted by
+  // triple, stable (fusion/column_sort.h) so the claims of one triple
+  // keep global first-seen order. Scratch lives outside the loop; groups
+  // already in order (the common case for 1-2 claim items) skip the
+  // permutation entirely.
+  std::vector<uint32_t> perm;
+  std::vector<kb::TripleId> tmp_triple;
+  std::vector<uint32_t> tmp_prov;
+  std::vector<float> tmp_conf;
   shard->item_multi.assign(shard->num_items(), 0);
-  std::unordered_map<kb::TripleId, uint32_t> support;
+  shard->item_distinct.assign(shard->num_items(), 0);
   for (size_t g = 0; g < shard->num_items(); ++g) {
-    support.clear();
-    for (uint32_t i = shard->item_offsets[g]; i < shard->item_offsets[g + 1];
-         ++i) {
-      if (++support[shard->claim_triple[i]] == 2) {
-        shard->item_multi[g] = 1;
-        break;
-      }
+    const uint32_t begin = shard->item_offsets[g];
+    const uint32_t end = shard->item_offsets[g + 1];
+    if (!std::is_sorted(shard->claim_triple.begin() + begin,
+                        shard->claim_triple.begin() + end)) {
+      StableSortPermutation(shard->claim_triple.data() + begin, end - begin,
+                            &perm);
+      ApplyPermutation(perm, shard->claim_triple.data() + begin, &tmp_triple);
+      ApplyPermutation(perm, shard->claim_prov.data() + begin, &tmp_prov);
+      ApplyPermutation(perm, shard->claim_confidence.data() + begin,
+                       &tmp_conf);
     }
+    // Runs are now contiguous: multi-support flag and distinct-triple
+    // count come from one linear pass, no hash map.
+    uint32_t distinct = 0;
+    for (uint32_t i = begin; i < end;) {
+      uint32_t j = i + 1;
+      while (j < end && shard->claim_triple[j] == shard->claim_triple[i]) {
+        ++j;
+      }
+      ++distinct;
+      if (j - i >= 2) shard->item_multi[g] = 1;
+      i = j;
+    }
+    shard->item_distinct[g] = distinct;
   }
 }
 

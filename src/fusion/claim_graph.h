@@ -38,8 +38,15 @@ class ClaimGraph {
 
   /// One shard: the claims of every data item hashed here, deduplicated by
   /// (provenance, triple) and grouped by item. Items appear in first-seen
-  /// order of the shard's records; claims of one item keep first-seen
-  /// order. Columns are parallel arrays indexed by the item CSR.
+  /// order of the shard's records. Columns are parallel arrays indexed by
+  /// the item CSR.
+  ///
+  /// Sorted-group invariant: within each item group the claims are sorted
+  /// by TripleId, stable by first-seen (provenance) order — equal triples
+  /// form contiguous runs and the claims of one triple keep global record
+  /// order. Build() and Update() both establish it, so every ItemClaims
+  /// view assembled from a shard is born sorted and Stage I can score with
+  /// linear run-length sweeps instead of per-item hash maps.
   struct Shard {
     /// Record indices of the dataset routed to this shard, in dataset
     /// order. Kept so an invalidated shard can re-deduplicate locally.
@@ -50,6 +57,9 @@ class ClaimGraph {
     /// Per item: some triple has >= 2 supporting claims (the round-1
     /// coverage-filter qualification, structural so computed at build).
     std::vector<uint8_t> item_multi;
+    /// Per item: number of distinct triples (= sorted runs). Stage I sizes
+    /// its TripleProbs scratch from this, so scoring never reallocates.
+    std::vector<uint32_t> item_distinct;
 
     std::vector<kb::TripleId> claim_triple;
     std::vector<uint32_t> claim_prov;

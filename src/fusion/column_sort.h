@@ -1,0 +1,41 @@
+// Stable permutation sort of parallel columns by a key column — the one
+// implementation of the sorted-group invariant's stability contract
+// (claims of equal triples keep their prior order). Used by
+// ClaimGraph::RebuildShard (three columns, in place over a CSR range with
+// reusable scratch) and ItemClaimsBuffer::SortByTriple (two whole-vector
+// columns).
+#ifndef KF_FUSION_COLUMN_SORT_H_
+#define KF_FUSION_COLUMN_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace kf::fusion {
+
+/// Fills `perm` with the stable sorting permutation of keys[0..n):
+/// applying it visits keys in nondecreasing order, equal keys in their
+/// original order.
+template <typename Key>
+void StableSortPermutation(const Key* keys, size_t n,
+                           std::vector<uint32_t>* perm) {
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), 0u);
+  std::stable_sort(perm->begin(), perm->end(),
+                   [keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+}
+
+/// Reorders col[0..perm.size()) in place as col[i] = old col[perm[i]],
+/// staging the old values through `scratch` (reusable across calls so a
+/// sweep over many groups allocates only on growth).
+template <typename T>
+void ApplyPermutation(const std::vector<uint32_t>& perm, T* col,
+                      std::vector<T>* scratch) {
+  scratch->assign(col, col + perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) col[i] = (*scratch)[perm[i]];
+}
+
+}  // namespace kf::fusion
+
+#endif  // KF_FUSION_COLUMN_SORT_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 
 #include "common/hash.h"
@@ -131,11 +130,11 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
                               bool prefer_evaluated,
                               FusionResult* result) const {
   // Scratch state reused across the shard's item groups: steady-state
-  // scoring allocates nothing.
+  // scoring allocates nothing, and the whole per-item path is hash-free —
+  // the shard's sorted-group invariant turns every per-triple aggregation
+  // into a run-length sweep or a sorted merge.
   ItemClaimsBuffer group;
   TripleProbs probs;
-  std::unordered_map<kb::TripleId, uint8_t> scored;
-  std::unordered_map<kb::TripleId, std::pair<double, double>> fallback_agg;
 
   for (size_t g = 0; g < shard.num_items(); ++g) {
     const uint32_t begin = shard.item_offsets[g];
@@ -180,43 +179,69 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     // provenance to the accuracy filter receive the mean accuracy of their
     // (filtered) provenances instead of no prediction. Applied per triple
     // so partial filtering of an item does not silently drop its other
-    // values.
+    // values. Both the raw group [begin, end) and the scorer output are
+    // in ascending triple order (the sorted-group invariant), so "which
+    // triples were scored" is a linear two-cursor merge over the runs —
+    // no scored set, no aggregation map.
     auto scatter_fallbacks = [&]() {
       if (theta <= 0.0) return;
-      fallback_agg.clear();
-      for (uint32_t i = begin; i < end; ++i) {
-        kb::TripleId t = shard.claim_triple[i];
-        if (scored.count(t)) continue;
-        auto& [sum, cnt] = fallback_agg[t];
-        sum += accuracy_[shard.claim_prov[i]];
-        cnt += 1.0;
-      }
-      for (const auto& [t, sc] : fallback_agg) {
-        result->probability[t] = sc.first / sc.second;
+      size_t k = 0;  // cursor into probs (ascending triples)
+      for (uint32_t i = begin; i < end;) {
+        const kb::TripleId t = shard.claim_triple[i];
+        uint32_t j = i + 1;
+        while (j < end && shard.claim_triple[j] == t) ++j;
+        while (k < probs.size() && probs[k].first < t) ++k;
+        if (k < probs.size() && probs[k].first == t) {
+          i = j;  // scored by the filtered group; no fallback needed
+          continue;
+        }
+        double sum = 0.0;
+        for (uint32_t c = i; c < j; ++c) {
+          sum += accuracy_[shard.claim_prov[c]];
+        }
+        result->probability[t] = sum / static_cast<double>(j - i);
         result->has_probability[t] = 1;
         result->from_fallback[t] = 1;
+        i = j;
       }
     };
 
-    scored.clear();
+    probs.clear();
     if (group.size() == 0) {
       scatter_fallbacks();
       continue;
     }
     if (group.size() > options_.sample_cap) {
-      // Reservoir-sample claims, keeping the two columns aligned.
+      // Reservoir-sample claims, keeping the two columns aligned, then
+      // re-establish the sorted invariant the scorer requires (the
+      // sample shuffles the order). Still deterministic — the rng seed
+      // depends only on (seed, item) — but note the sample is now drawn
+      // from triple-sorted claim order, so groups above sample_cap keep
+      // a different (equally random) subset than the pre-sorting
+      // implementation drew from first-seen order.
       std::vector<std::pair<kb::TripleId, double>> pairs;
       pairs.reserve(group.size());
       for (size_t i = 0; i < group.size(); ++i) {
-        pairs.emplace_back(group.triple[i], group.accuracy[i]);
+        pairs.emplace_back(group.triples()[i], group.accuracies()[i]);
       }
       Rng rng(HashCombine(HashCombine(options_.seed, 0x51), shard.items[g]));
       mr::ReservoirSample(&pairs, options_.sample_cap, &rng);
+      // Stable-sort the pairs in place (rather than SortByTriple on the
+      // buffer) so this branch adds no allocations beyond `pairs`; the
+      // re-push then records the buffer as born-sorted.
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const std::pair<kb::TripleId, double>& a,
+                          const std::pair<kb::TripleId, double>& b) {
+                         return a.first < b.first;
+                       });
       group.clear();
       for (const auto& [t, a] : pairs) group.push(t, a);
+      KF_DCHECK(group.sorted());
     }
 
-    probs.clear();
+    // One entry per distinct triple: reserving to the group's run count
+    // keeps the scratch from reallocating even on the first large group.
+    probs.reserve(shard.item_distinct[g]);
     scorer_->Score(group.view(), &probs);
     // Each triple belongs to exactly one item group of one shard, so the
     // dense scatters below race with nothing.
@@ -224,7 +249,6 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
       result->probability[t] = p;
       result->has_probability[t] = 1;
       result->from_fallback[t] = 0;
-      if (theta > 0.0) scored.emplace(t, 1);
     }
     scatter_fallbacks();
   }

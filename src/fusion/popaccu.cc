@@ -1,7 +1,7 @@
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "common/logging.h"
 #include "fusion/scorer.h"
 
 namespace kf::fusion {
@@ -26,28 +26,37 @@ namespace kf::fusion {
 // artifacts exactly: a singleton provenance with default accuracy 0.8
 // yields p = 0.8, and two conflicting singletons yield p ~ 0.5 (the Fig. 9
 // calibration valleys).
+//
+// Run-length sweep over the sorted view: a run IS a candidate value — its
+// length is c(v) and its accuracy log-odds accumulate in claim order, so
+// no count/logodds hash maps are needed. `out` doubles as the scratch for
+// the max-exponent normalization, exactly as in accu.cc.
 void PopAccuScorer::Score(const ItemClaims& claims, TripleProbs* out) const {
-  std::unordered_map<kb::TripleId, double> logodds;
-  std::unordered_map<kb::TripleId, double> count;
-  for (size_t i = 0; i < claims.size(); ++i) {
-    double a = claims.accuracy[i];
-    logodds[claims.triple[i]] += std::log(a / (1.0 - a));
-    count[claims.triple[i]] += 1.0;
-  }
+  KF_CHECK(claims.sorted);  // O(1) flag read — enforced in release too
+  const size_t base = out->size();
   const double n = static_cast<double>(claims.size());
-  std::unordered_map<kb::TripleId, double> score;
   double max_score = 0.0;  // baseline candidate has score 0
-  for (const auto& [t, lo] : logodds) {
-    double c = count[t];
+  for (size_t i = 0; i < claims.size();) {
+    const kb::TripleId t = claims.triple[i];
+    double lo = 0.0;
+    size_t j = i;
+    for (; j < claims.size() && claims.triple[j] == t; ++j) {
+      double a = claims.accuracy[j];
+      lo += std::log(a / (1.0 - a));
+    }
+    const double c = static_cast<double>(j - i);
     double s = lo - c * std::log(c / n);
     if (n - c > 0.0) s += (n - c) * std::log(n / (n - c));
-    score[t] = s;
+    out->emplace_back(t, s);
     max_score = std::max(max_score, s);
+    i = j;
   }
   double total = std::exp(-max_score);  // the unobserved baseline
-  for (const auto& [t, s] : score) total += std::exp(s - max_score);
-  for (const auto& [t, s] : score) {
-    out->emplace_back(t, std::exp(s - max_score) / total);
+  for (size_t k = base; k < out->size(); ++k) {
+    total += std::exp((*out)[k].second - max_score);
+  }
+  for (size_t k = base; k < out->size(); ++k) {
+    (*out)[k].second = std::exp((*out)[k].second - max_score) / total;
   }
 }
 

@@ -1,0 +1,18 @@
+#include "fusion/scorer.h"
+
+#include "fusion/column_sort.h"
+
+namespace kf::fusion {
+
+void ItemClaimsBuffer::SortByTriple() {
+  if (sorted_) return;
+  std::vector<uint32_t> perm;
+  StableSortPermutation(triple_.data(), triple_.size(), &perm);
+  std::vector<kb::TripleId> triple_scratch;
+  std::vector<double> accuracy_scratch;
+  ApplyPermutation(perm, triple_.data(), &triple_scratch);
+  ApplyPermutation(perm, accuracy_.data(), &accuracy_scratch);
+  sorted_ = true;
+}
+
+}  // namespace kf::fusion

@@ -7,6 +7,13 @@
 // scorers share the single-truth assumption of Section 4.1: probabilities
 // of the triples of one data item sum to at most 1, with the remainder
 // assigned to "some unobserved value".
+//
+// Scoring is run-length based: Score() requires a triple-sorted view
+// (ItemClaims::sorted) and performs one linear sweep over the contiguous
+// runs of equal triples — O(claims), no per-item hash maps, zero
+// steady-state allocations. Views assembled from claim-graph shards are
+// born sorted (the Shard sorted-group invariant); hand-built buffers track
+// their own sortedness and can re-establish it with SortByTriple().
 #ifndef KF_FUSION_SCORER_H_
 #define KF_FUSION_SCORER_H_
 
@@ -22,30 +29,54 @@ namespace kf::fusion {
 /// One data item's claims after filtering and sampling, as a non-owning
 /// columnar view: claim i says triple[i] with the claiming provenance's
 /// accuracy accuracy[i]. A (provenance, triple) pair appears at most once.
+///
+/// `sorted` is the run-length guarantee: claims are in nondecreasing
+/// TripleId order, so equal triples form contiguous runs. Scorer::Score
+/// requires it; views over claim-graph shards carry it for free.
 struct ItemClaims {
   const kb::TripleId* triple = nullptr;
   const double* accuracy = nullptr;
   size_t count = 0;
+  bool sorted = false;
 
   size_t size() const { return count; }
 };
 
 /// Owning assembly buffer for an item group; reused across items by the
-/// shard sweep so steady-state scoring allocates nothing.
-struct ItemClaimsBuffer {
-  std::vector<kb::TripleId> triple;
-  std::vector<double> accuracy;
-
+/// shard sweep so steady-state scoring allocates nothing. Tracks whether
+/// the pushes arrived in triple order — filtered copies out of a sorted
+/// shard group stay sorted for free; hand-built buffers (tests, external
+/// callers) re-establish the order with SortByTriple() before scoring.
+/// The columns are private so nothing can mutate them behind the
+/// tracking's back.
+class ItemClaimsBuffer {
+ public:
   void clear() {
-    triple.clear();
-    accuracy.clear();
+    triple_.clear();
+    accuracy_.clear();
+    sorted_ = true;
   }
   void push(kb::TripleId t, double a) {
-    triple.push_back(t);
-    accuracy.push_back(a);
+    if (!triple_.empty() && triple_.back() > t) sorted_ = false;
+    triple_.push_back(t);
+    accuracy_.push_back(a);
   }
-  size_t size() const { return triple.size(); }
-  ItemClaims view() const { return {triple.data(), accuracy.data(), size()}; }
+  size_t size() const { return triple_.size(); }
+  const std::vector<kb::TripleId>& triples() const { return triple_; }
+  const std::vector<double>& accuracies() const { return accuracy_; }
+  /// Whether the pushes so far arrived in nondecreasing triple order.
+  bool sorted() const { return sorted_; }
+  /// Stable-sorts the claims by triple (no-op when already sorted):
+  /// equal triples keep their relative push order.
+  void SortByTriple();
+  ItemClaims view() const {
+    return {triple_.data(), accuracy_.data(), size(), sorted_};
+  }
+
+ private:
+  std::vector<kb::TripleId> triple_;
+  std::vector<double> accuracy_;
+  bool sorted_ = true;
 };
 
 /// Output: (triple, probability) for each distinct triple in the group.
@@ -56,7 +87,11 @@ class Scorer {
   virtual ~Scorer() = default;
 
   /// Computes probabilities for every distinct triple in `claims`.
-  /// `claims` is non-empty. Appends to `out`.
+  /// `claims` is non-empty and MUST be triple-sorted (claims.sorted;
+  /// KF_CHECKed — the flag read is O(1), so the guard stays on in
+  /// release builds). Appends to `out` one entry per distinct triple, in
+  /// ascending triple order — one linear sweep over the sorted runs, no
+  /// allocations beyond `out` growth.
   virtual void Score(const ItemClaims& claims, TripleProbs* out) const = 0;
 };
 

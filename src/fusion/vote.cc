@@ -1,15 +1,19 @@
-#include <unordered_map>
-
+#include "common/logging.h"
 #include "fusion/scorer.h"
 
 namespace kf::fusion {
 
+// Run-length sweep over the sorted view: each contiguous run of one
+// triple is its vote count. O(claims), no hash map, no allocation.
 void VoteScorer::Score(const ItemClaims& claims, TripleProbs* out) const {
-  std::unordered_map<kb::TripleId, uint32_t> votes;
-  for (size_t i = 0; i < claims.size(); ++i) ++votes[claims.triple[i]];
+  KF_CHECK(claims.sorted);  // O(1) flag read — enforced in release too
   const double n = static_cast<double>(claims.size());
-  for (const auto& [t, m] : votes) {
-    out->emplace_back(t, static_cast<double>(m) / n);
+  for (size_t i = 0; i < claims.size();) {
+    const kb::TripleId t = claims.triple[i];
+    size_t j = i + 1;
+    while (j < claims.size() && claims.triple[j] == t) ++j;
+    out->emplace_back(t, static_cast<double>(j - i) / n);
+    i = j;
   }
 }
 

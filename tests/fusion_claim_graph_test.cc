@@ -110,8 +110,79 @@ TEST(ClaimGraphTest, ItemMultiFlagsMatchSupportCounts) {
 bool ShardsEqual(const ClaimGraph::Shard& a, const ClaimGraph::Shard& b) {
   return a.records == b.records && a.items == b.items &&
          a.item_offsets == b.item_offsets && a.item_multi == b.item_multi &&
+         a.item_distinct == b.item_distinct &&
          a.claim_triple == b.claim_triple && a.claim_prov == b.claim_prov &&
          a.claim_confidence == b.claim_confidence;
+}
+
+// The sorted-group invariant the run-length Stage I scorers rely on:
+// within every item group, claims are in nondecreasing TripleId order and
+// the derived run statistics (item_distinct, item_multi) match the runs.
+void ExpectSortedGroups(const ClaimGraph& graph) {
+  for (size_t s = 0; s < graph.num_shards(); ++s) {
+    const ClaimGraph::Shard& sh = graph.shard(s);
+    ASSERT_EQ(sh.item_distinct.size(), sh.num_items());
+    for (size_t g = 0; g < sh.num_items(); ++g) {
+      const uint32_t begin = sh.item_offsets[g];
+      const uint32_t end = sh.item_offsets[g + 1];
+      ASSERT_TRUE(std::is_sorted(sh.claim_triple.begin() + begin,
+                                 sh.claim_triple.begin() + end))
+          << "shard " << s << " group " << g;
+      uint32_t distinct = 0;
+      bool multi = false;
+      for (uint32_t i = begin; i < end;) {
+        uint32_t j = i + 1;
+        while (j < end && sh.claim_triple[j] == sh.claim_triple[i]) ++j;
+        ++distinct;
+        if (j - i >= 2) multi = true;
+        i = j;
+      }
+      ASSERT_EQ(sh.item_distinct[g], distinct);
+      ASSERT_EQ(sh.item_multi[g] != 0, multi);
+    }
+  }
+}
+
+TEST(ClaimGraphTest, ItemGroupsAreTripleSortedAfterBuild) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorUrl(),
+                   /*num_shards=*/8);
+  ExpectSortedGroups(graph);
+}
+
+TEST(ClaimGraphTest, ItemGroupsStayTripleSortedAfterDirtyUpdate) {
+  const auto& corpus = SmallCorpus();
+  auto gran = extract::Granularity::ExtractorUrl();
+  const size_t total = corpus.dataset.num_records();
+  ClaimGraph graph(corpus.dataset, gran, /*num_shards=*/8, /*num_workers=*/1,
+                   /*num_records=*/total / 2);
+  ExpectSortedGroups(graph);
+  ASSERT_GT(graph.Update(corpus.dataset), 0u);
+  ExpectSortedGroups(graph);
+}
+
+TEST(ClaimGraphTest, SortIsStableByFirstSeenProvenance) {
+  // Within one triple's run, claims must keep global record (first-seen)
+  // order — the stability half of the invariant, which makes per-triple
+  // accumulation bit-identical to the historical unsorted sweep. First
+  // occurrence positions in record order are exactly what BuildClaimSet
+  // produces, so compare per-(item, triple) provenance sequences.
+  const auto& corpus = SmallCorpus();
+  auto gran = extract::Granularity::ExtractorUrl();
+  ClaimSet set = BuildClaimSet(corpus.dataset, gran);
+  ClaimGraph graph(corpus.dataset, gran, /*num_shards=*/8);
+  std::map<std::pair<kb::DataItemId, kb::TripleId>, std::vector<uint32_t>>
+      expected;
+  for (const Claim& c : set.claims) {
+    expected[{c.item, c.triple}].push_back(c.prov);
+  }
+  std::map<std::pair<kb::DataItemId, kb::TripleId>, std::vector<uint32_t>>
+      actual;
+  graph.ForEachClaim([&](kb::DataItemId item, kb::TripleId triple,
+                         uint32_t prov, float) {
+    actual[{item, triple}].push_back(prov);
+  });
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(ClaimGraphTest, IncrementalUpdateMatchesFullBuild) {

@@ -4,7 +4,10 @@
 
 #include "common/random.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
+#include <unordered_map>
 
 namespace kf::fusion {
 namespace {
@@ -21,8 +24,10 @@ std::map<kb::TripleId, double> Score(const Scorer& scorer,
 ItemClaimsBuffer Claims(std::vector<kb::TripleId> triples,
                         std::vector<double> accuracies) {
   ItemClaimsBuffer c;
-  c.triple = std::move(triples);
-  c.accuracy = std::move(accuracies);
+  for (size_t i = 0; i < triples.size(); ++i) {
+    c.push(triples[i], accuracies[i]);
+  }
+  c.SortByTriple();  // scorers require the sorted view
   return c;
 }
 
@@ -134,6 +139,7 @@ TEST(PopAccuTest, ProbabilitiesWithinUnitInterval) {
       claims.push(static_cast<kb::TripleId>(rng.NextBelow(5)),
                   rng.Uniform(0.01, 0.99));
     }
+    claims.SortByTriple();
     TripleProbs out;
     pop.Score(claims.view(), &out);
     double sum = 0.0;
@@ -180,6 +186,135 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ScorerMonotonicity,
     ::testing::Combine(::testing::Values(0, 1, 2),
                        ::testing::Values(0.6, 0.8, 0.95)));
+
+// ---- run-length scorers vs the historical hash-map implementations ----
+//
+// The shipped scorers are single linear sweeps over sorted runs. These are
+// the pre-sorting unordered_map implementations, kept as test-only
+// references: the property test below runs both on randomized groups and
+// bounds the divergence at 1e-12 (per-triple log-score accumulation order
+// is preserved by the stable sort; only the normalization's summation
+// order differs, so the probabilities may move in the last few ulps).
+
+std::map<kb::TripleId, double> ReferenceVote(const ItemClaims& claims) {
+  std::unordered_map<kb::TripleId, uint32_t> votes;
+  for (size_t i = 0; i < claims.size(); ++i) ++votes[claims.triple[i]];
+  const double n = static_cast<double>(claims.size());
+  std::map<kb::TripleId, double> out;
+  for (const auto& [t, m] : votes) out[t] = static_cast<double>(m) / n;
+  return out;
+}
+
+std::map<kb::TripleId, double> ReferenceAccu(const ItemClaims& claims,
+                                             double n_false_values) {
+  std::unordered_map<kb::TripleId, double> score;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    double a = claims.accuracy[i];
+    score[claims.triple[i]] += std::log(n_false_values * a / (1.0 - a));
+  }
+  double max_score = 0.0;
+  for (const auto& [t, s] : score) max_score = std::max(max_score, s);
+  double unobserved = std::max(
+      0.0, n_false_values + 1.0 - static_cast<double>(score.size()));
+  double total = unobserved * std::exp(-max_score);
+  for (const auto& [t, s] : score) total += std::exp(s - max_score);
+  std::map<kb::TripleId, double> out;
+  for (const auto& [t, s] : score) out[t] = std::exp(s - max_score) / total;
+  return out;
+}
+
+std::map<kb::TripleId, double> ReferencePopAccu(const ItemClaims& claims) {
+  std::unordered_map<kb::TripleId, double> logodds;
+  std::unordered_map<kb::TripleId, double> count;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    double a = claims.accuracy[i];
+    logodds[claims.triple[i]] += std::log(a / (1.0 - a));
+    count[claims.triple[i]] += 1.0;
+  }
+  const double n = static_cast<double>(claims.size());
+  std::unordered_map<kb::TripleId, double> score;
+  double max_score = 0.0;
+  for (const auto& [t, lo] : logodds) {
+    double c = count[t];
+    double s = lo - c * std::log(c / n);
+    if (n - c > 0.0) s += (n - c) * std::log(n / (n - c));
+    score[t] = s;
+    max_score = std::max(max_score, s);
+  }
+  double total = std::exp(-max_score);
+  for (const auto& [t, s] : score) total += std::exp(s - max_score);
+  std::map<kb::TripleId, double> out;
+  for (const auto& [t, s] : score) out[t] = std::exp(s - max_score) / total;
+  return out;
+}
+
+TEST(RunLengthEquivalenceTest, MatchesHashMapReferencesOnRandomGroups) {
+  VoteScorer vote;
+  AccuScorer accu(100);
+  PopAccuScorer pop;
+  Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Randomized group shapes: singletons, heavy agreement, wide conflict.
+    size_t n = 1 + rng.NextBelow(30);
+    size_t num_values = 1 + rng.NextBelow(8);
+    ItemClaimsBuffer claims;
+    for (size_t i = 0; i < n; ++i) {
+      claims.push(static_cast<kb::TripleId>(rng.NextBelow(num_values)),
+                  rng.Uniform(0.05, 0.95));
+    }
+    // References consume the unsorted view (order-insensitive by
+    // construction) — evaluated before SortByTriple() reorders the
+    // columns underneath it.
+    const struct {
+      const Scorer* scorer;
+      std::map<kb::TripleId, double> expected;
+    } cases[] = {
+        {&vote, ReferenceVote(claims.view())},
+        {&accu, ReferenceAccu(claims.view(), 100)},
+        {&pop, ReferencePopAccu(claims.view())},
+    };
+    claims.SortByTriple();
+    for (const auto& c : cases) {
+      auto probs = Score(*c.scorer, claims);
+      ASSERT_EQ(probs.size(), c.expected.size());
+      for (const auto& [t, p] : c.expected) {
+        ASSERT_TRUE(probs.count(t));
+        ASSERT_NEAR(probs[t], p, 1e-12) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// ---- the sorted guarantee on views and buffers ----
+
+TEST(ItemClaimsBufferTest, TracksSortednessAcrossPushes) {
+  ItemClaimsBuffer claims;
+  EXPECT_TRUE(claims.sorted());
+  claims.push(2, 0.8);
+  claims.push(2, 0.7);
+  claims.push(5, 0.6);
+  EXPECT_TRUE(claims.sorted());
+  EXPECT_TRUE(claims.view().sorted);
+  claims.push(1, 0.9);  // out of order
+  EXPECT_FALSE(claims.sorted());
+  EXPECT_FALSE(claims.view().sorted);
+  claims.clear();
+  EXPECT_TRUE(claims.sorted());
+}
+
+TEST(ItemClaimsBufferTest, SortByTripleIsStableWithinTriple) {
+  ItemClaimsBuffer claims;
+  claims.push(3, 0.1);
+  claims.push(1, 0.2);
+  claims.push(3, 0.3);
+  claims.push(1, 0.4);
+  ASSERT_FALSE(claims.sorted());
+  claims.SortByTriple();
+  ASSERT_TRUE(claims.sorted());
+  EXPECT_EQ(claims.triples(), (std::vector<kb::TripleId>{1, 1, 3, 3}));
+  // Equal triples keep their push order.
+  EXPECT_EQ(claims.accuracies(), (std::vector<double>{0.2, 0.4, 0.1, 0.3}));
+}
 
 }  // namespace
 }  // namespace kf::fusion
