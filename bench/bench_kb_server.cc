@@ -1,0 +1,189 @@
+// kf::KbServer serving benchmarks (google-benchmark): closed-loop read
+// QPS with N reader threads hammering Acquire()+Lookup while one live
+// appender thread streams batches in and republishes continuously, plus
+// the writer-side publish latency on its own. items/sec of BM_KbServerQps
+// is served lookups per second under a live writer — the serving-layer
+// headline number scripts/bench_compare.py gates on.
+//
+// scripts/bench.sh runs this binary next to bench_perf and merges both
+// into BENCH_perf.json. Note: on a single-core host the reader counts
+// measure scheduling interleave, not parallel speedup; compare series
+// recorded on the same machine only.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "kf/kb_server.h"
+#include "synth/corpus.h"
+
+namespace {
+
+using namespace kf;
+
+KbServer::Options ServerOptions() {
+  KbServer::Options options;
+  // The streaming configuration: ACCU reconverges under warm start (see
+  // kf_session_test), so every republish is a cheap warm Refuse.
+  options.fusion.method = fusion::Method::kAccu;
+  options.fusion.max_rounds = 100;
+  options.fusion.convergence_epsilon = 1e-3;
+  options.fusion.num_shards = 16;
+  options.fusion.num_workers = 1;  // serving threads own the parallelism
+  bench::ValidateOrExit(options.fusion);
+  return options;
+}
+
+/// Shared serving context: a server over half the default corpus plus the
+/// re-interned other half as append batches, built once per process and
+/// reused across reader counts (the generation counter just keeps
+/// climbing, which is exactly the production shape).
+struct ServeCtx {
+  std::unique_ptr<KbServer> server;
+  std::vector<std::vector<extract::ExtractionRecord>> batches;
+  std::atomic<size_t> next_batch{0};
+  // Probe keys sampled from generation 1, so every generation can answer.
+  std::vector<std::pair<std::string, std::string>> probes;
+
+  ServeCtx() {
+    synth::SynthConfig config = synth::SynthConfig().Scaled(0.5);
+    synth::SynthCorpus corpus = synth::GenerateCorpus(config);
+    const auto& src = corpus.dataset;
+    const size_t base = src.num_records() / 2;
+    extract::ExtractionDataset dataset =
+        extract::CloneRecordPrefix(src, base);
+    std::vector<extract::ExtractionRecord> tail =
+        extract::ReinternTail(src, base, &dataset);
+    server = std::make_unique<KbServer>(std::move(dataset), ServerOptions());
+
+    constexpr size_t kBatch = 64;
+    for (size_t i = 0; i < tail.size(); i += kBatch) {
+      batches.emplace_back(
+          tail.begin() + static_cast<ptrdiff_t>(i),
+          tail.begin() +
+              static_cast<ptrdiff_t>(std::min(i + kBatch, tail.size())));
+    }
+
+    Result<KbSnapshotStats> first = server->Publish();
+    if (!first.ok()) {
+      std::fprintf(stderr, "first publish failed: %s\n",
+                   first.status().ToString().c_str());
+      std::exit(2);
+    }
+    for (const ServedVerdict& v : server->TopK(64)) {
+      probes.emplace_back(v.subject, v.predicate);
+    }
+  }
+
+  /// One writer step: drip the next batch while any remain, then keep
+  /// republishing warm (generation++ either way).
+  void WriterStep() {
+    const size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+    Result<KbSnapshotStats> published =
+        b < batches.size() ? server->AppendAndPublish(batches[b])
+                           : server->Publish();
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   published.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+};
+
+ServeCtx& Ctx() {
+  static ServeCtx& ctx = *new ServeCtx();
+  return ctx;
+}
+
+/// Closed-loop serving QPS: every benchmark thread is a reader holding a
+/// KbServer::Reader handle; thread 0 additionally runs the live appender
+/// in a background thread for the duration of its measurement loop. Each
+/// iteration serves one point lookup through the pinned snapshot.
+void BM_KbServerQps(benchmark::State& state) {
+  ServeCtx& ctx = Ctx();
+  std::thread writer;
+  std::atomic<bool> stop{false};
+  if (state.thread_index() == 0) {
+    writer = std::thread([&ctx, &stop] {
+      while (!stop.load(std::memory_order_acquire)) ctx.WriterStep();
+    });
+  }
+
+  KbServer::Reader reader(*ctx.server);
+  size_t probe = static_cast<size_t>(state.thread_index());
+  uint64_t generations_seen = 0;
+  uint64_t last_seqno = 0;
+  for (auto _ : state) {
+    const KbSnapshotRef& snap = reader.Acquire();
+    const auto& key = ctx.probes[probe % ctx.probes.size()];
+    ++probe;
+    auto v = snap->kb().Lookup(key.first, key.second);
+    benchmark::DoNotOptimize(v);
+    if (reader.seqno() != last_seqno) {
+      last_seqno = reader.seqno();
+      ++generations_seen;
+    }
+  }
+
+  if (state.thread_index() == 0) {
+    stop.store(true, std::memory_order_release);
+    writer.join();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["generations_seen"] = benchmark::Counter(
+      static_cast<double>(generations_seen), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_KbServerQps)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Writer-side cost: one warm AppendAndPublish/Publish step per
+/// iteration, no readers. items/sec = publishes per second.
+void BM_KbServerPublish(benchmark::State& state) {
+  ServeCtx& ctx = Ctx();
+  for (auto _ : state) ctx.WriterStep();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KbServerPublish)->Unit(benchmark::kMillisecond);
+
+/// The uncontended read path on a pinned snapshot — the ceiling the QPS
+/// series is measured against.
+void BM_KbServerSnapshotLookup(benchmark::State& state) {
+  ServeCtx& ctx = Ctx();
+  KbSnapshotRef snap = ctx.server->Acquire();
+  size_t probe = 0;
+  for (auto _ : state) {
+    const auto& key = ctx.probes[probe % ctx.probes.size()];
+    ++probe;
+    auto v = snap->kb().Lookup(key.first, key.second);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KbServerSnapshotLookup);
+
+}  // namespace
+
+// Same build-type context marker as bench_perf: scripts/bench.sh refuses
+// to record BENCH_perf.json from a non-release binary.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("kf_build_type", "release");
+#else
+  benchmark::AddCustomContext("kf_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,71 +1,75 @@
 #!/usr/bin/env bash
-# Perf baseline runner for bench_perf (google-benchmark).
+# Perf baseline runner for the google-benchmark binaries (bench_perf +
+# bench_kb_server).
 #
 #   ./scripts/bench.sh            -> full run, JSON recorded in BENCH_perf.json
 #   ./scripts/bench.sh --smoke    -> fast CI smoke: tiny min_time, per-stage
-#                                    benches only, no JSON written
+#                                    + serving benches only, no JSON written
 #
-# Extra arguments after the mode are forwarded to bench_perf (e.g.
+# Extra arguments after the mode are forwarded to both binaries (e.g.
 # --benchmark_filter=BM_StageISweep). BUILD_DIR overrides ./build.
 #
 # BENCH_perf.json is only ever recorded from a Release build: the script
 # configures with -DCMAKE_BUILD_TYPE=Release by default and refuses to
 # record when BUILD_DIR's cache says otherwise (a debug baseline once
-# slipped in and made every optimization look 3x better than it was).
+# slipped in and made every optimization look 3x better than it was). The
+# two binaries' JSON outputs are merged into one BENCH_perf.json so
+# bench_compare.py sees a single baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-BIN="${BUILD_DIR}/bench/bench_perf"
+BENCH_TARGETS=(bench_perf bench_kb_server)
 
 build_type() {
   sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" \
     2>/dev/null || true
 }
 
-if [[ ! -x "${BIN}" ]]; then
-  if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
-    # Respect an already-configured dir (never flip e.g. an asan cache to
-    # Release behind the user's back); the recording guard below still
-    # refuses non-Release output.
-    echo "bench_perf not built; building in existing ${BUILD_DIR}..." >&2
-  else
-    echo "bench_perf not built; configuring ${BUILD_DIR} (Release)..." >&2
-    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-  fi
-  # Tolerate exactly one kind of failure — the bench_perf target not
-  # existing (bench/CMakeLists skips it when Google Benchmark is absent),
-  # which the check below turns into a graceful skip. Real compile/link
-  # errors must still fail loudly: a broken perf binary reported as a
-  # clean skip is the silent rot this script exists to prevent.
-  if ! build_out="$(cmake --build "${BUILD_DIR}" --target bench_perf \
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  echo "configuring ${BUILD_DIR} (Release)..." >&2
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+
+# Build each bench binary, tolerating exactly one kind of failure — the
+# target not existing (bench/CMakeLists skips the google-benchmark targets
+# when the library is absent), which becomes a graceful skip below. Real
+# compile/link errors must still fail loudly: a broken perf binary
+# reported as a clean skip is the silent rot this script exists to
+# prevent. The quoted-'<target>' form is how make/ninja name a missing
+# top-level target, and it cannot match a file path like
+# 'bench/bench_perf.cc'.
+for target in "${BENCH_TARGETS[@]}"; do
+  if [[ -x "${BUILD_DIR}/bench/${target}" ]]; then continue; fi
+  echo "${target} not built; building in ${BUILD_DIR}..." >&2
+  if ! build_out="$(cmake --build "${BUILD_DIR}" --target "${target}" \
       -j"$(nproc 2>/dev/null || echo 4)" 2>&1)"; then
-    # Only the bench_perf *target itself* being unknown is benign; a
-    # missing dependency or source ("No rule to make target 'src/...h'" /
-    # '...bench_perf.cc') or any compile error is real breakage. The
-    # quoted-'bench_perf' form is how make/ninja name a missing top-level
-    # target, and it cannot match a file path like 'bench/bench_perf.cc'.
-    if ! grep -qiE "(no rule to make target|unknown target|cannot find target).*'bench_perf'" \
+    if ! grep -qiE "(no rule to make target|unknown target|cannot find target).*'${target}'" \
         <<< "${build_out}"; then
       printf '%s\n' "${build_out}" >&2
       exit 1
     fi
   fi
-fi
-if [[ ! -x "${BIN}" ]]; then
-  # bench/CMakeLists skips bench_perf when Google Benchmark is absent.
-  echo "bench_perf unavailable (Google Benchmark not installed); skipping" >&2
+done
+if [[ ! -x "${BUILD_DIR}/bench/bench_perf" ]]; then
+  echo "bench binaries unavailable (Google Benchmark not installed); skipping" >&2
   exit 0
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
-  # One pass over the claim-graph + scorer + streaming benches so perf
-  # binaries cannot rot in CI; min_time is tiny because only liveness
-  # matters here.
-  exec "${BIN}" \
+  # One pass over the claim-graph + scorer + streaming + serving benches
+  # so perf binaries cannot rot in CI; min_time is tiny because only
+  # liveness matters here.
+  "${BUILD_DIR}/bench/bench_perf" \
     --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|ScorerOnly|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK)' \
     --benchmark_min_time=0.01 "$@"
+  if [[ -x "${BUILD_DIR}/bench/bench_kb_server" ]]; then
+    "${BUILD_DIR}/bench/bench_kb_server" \
+      --benchmark_filter='BM_KbServerQps/real_time/threads:(1|4)$|BM_KbServerPublish|BM_KbServerSnapshotLookup' \
+      --benchmark_min_time=0.01 "$@"
+  fi
+  exit 0
 fi
 
 bt="$(build_type)"
@@ -76,8 +80,24 @@ if [[ "${bt}" != "Release" ]]; then
   exit 1
 fi
 
-"${BIN}" --benchmark_format=console \
+"${BUILD_DIR}/bench/bench_perf" --benchmark_format=console \
   --benchmark_out=BENCH_perf.json --benchmark_out_format=json "$@"
+if [[ -x "${BUILD_DIR}/bench/bench_kb_server" ]]; then
+  "${BUILD_DIR}/bench/bench_kb_server" --benchmark_format=console \
+    --benchmark_out=BENCH_kb_server.json --benchmark_out_format=json "$@"
+  # Merge the serving benches into the one baseline file.
+  python3 - <<'PY'
+import json
+with open('BENCH_perf.json') as f:
+    perf = json.load(f)
+with open('BENCH_kb_server.json') as f:
+    serve = json.load(f)
+perf['benchmarks'].extend(serve['benchmarks'])
+with open('BENCH_perf.json', 'w') as f:
+    json.dump(perf, f, indent=1)
+PY
+  rm -f BENCH_kb_server.json
+fi
 echo "recorded BENCH_perf.json" >&2
 echo "compare against a previous baseline with:" >&2
 echo "  scripts/bench_compare.py <old.json> BENCH_perf.json" >&2

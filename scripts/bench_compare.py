@@ -17,6 +17,12 @@ fail the gate (a renamed or deleted bench must not silently drop out of
 comparison); benches only in the candidate are informational. A "debug"
 kf_build_type in either context block is reported loudly: debug numbers
 must never serve as a baseline.
+
+Benchmarks that report a throughput counter (items_per_second — e.g. the
+BM_KbServerQps serving series, where per-iteration time is a poor proxy
+for multi-threaded QPS) are additionally gated on throughput: a drop of
+more than --threshold percent fails even when per-iteration time looks
+flat.
 """
 
 import argparse
@@ -39,8 +45,10 @@ def load(path):
     for name, entries in reps.items():
         merged = dict(entries[0])
         if len(entries) > 1:
-            for metric in ("real_time", "cpu_time"):
-                merged[metric] = sum(e[metric] for e in entries) / len(entries)
+            for metric in ("real_time", "cpu_time", "items_per_second"):
+                vals = [e[metric] for e in entries if metric in e]
+                if vals:
+                    merged[metric] = sum(vals) / len(vals)
         runs[name] = merged
     return doc.get("context", {}), runs
 
@@ -118,6 +126,15 @@ def main():
               f"{delta:>+7.1f}%")
         if delta > args.threshold:
             regressions.append((name, delta))
+        # Throughput gate: items/sec shrinking is a regression even when
+        # per-iteration time stays flat (multi-threaded QPS benches).
+        oi, ni = o.get("items_per_second"), n.get("items_per_second")
+        if oi and ni is not None:
+            tdelta = (ni - oi) / oi * 100.0
+            if tdelta < -args.threshold:
+                print(f"{name + ' [items/sec]':<{width}}  "
+                      f"{oi:>11.4g}/s  {ni:>11.4g}/s  {tdelta:>+7.1f}%")
+                regressions.append((name + " [items/sec]", -tdelta))
 
     failed = False
     if mismatched:

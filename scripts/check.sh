@@ -1,14 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification: exactly the command ROADMAP.md specifies.
 #   ./scripts/check.sh            -> configure + build + ctest in ./build
-#   BUILD_DIR=build-asan KF_SANITIZE=ON ./scripts/check.sh
+#   ./scripts/check.sh --asan     -> ASan+UBSan build in ./build-asan
+#   ./scripts/check.sh --tsan     -> ThreadSanitizer build in ./build-tsan
+#   BUILD_DIR=build-asan KF_SANITIZE=ON ./scripts/check.sh   (env spelling)
+#   BUILD_DIR=build-tsan KF_TSAN=ON ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+  case "${arg}" in
+    --asan) KF_SANITIZE=ON; BUILD_DIR="${BUILD_DIR:-build-asan}" ;;
+    --tsan) KF_TSAN=ON; BUILD_DIR="${BUILD_DIR:-build-tsan}" ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 BUILD_DIR="${BUILD_DIR:-build}"
 EXTRA_CMAKE_ARGS=()
 if [[ "${KF_SANITIZE:-}" == "ON" ]]; then
   EXTRA_CMAKE_ARGS+=(-DKF_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug)
+fi
+if [[ "${KF_TSAN:-}" == "ON" ]]; then
+  EXTRA_CMAKE_ARGS+=(-DKF_TSAN=ON -DCMAKE_BUILD_TYPE=Debug)
+fi
+if [[ "${KF_SANITIZE:-}" == "ON" && "${KF_TSAN:-}" == "ON" ]]; then
+  echo "KF_SANITIZE and KF_TSAN are mutually exclusive" >&2
+  exit 2
 fi
 
 # Tier-1 writes bare `-j`; pin it to nproc — on ctest/make < 3.29 a bare

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Public-API smoke: build and run the quickstart (batch + evaluation +
 # streaming warm-start re-fusion), fuse_tsv (registry-driven CLI, incl.
-# the fused-KB --export/--min-prob flags), and query_kb (FusedKB
-# Lookup/Explain/TopK + round-trip) on the checked-in demo TSV, so the
-# Session/FusedKB facade cannot silently rot.
+# the fused-KB --export/--min-prob flags), query_kb (FusedKB
+# Lookup/Explain/TopK + round-trip) on the checked-in demo TSV, and
+# serve_kb (KbServer live readers under a publishing writer), so the
+# Session/FusedKB/KbServer facade cannot silently rot.
 #
 #   ./scripts/examples_smoke.sh      (BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -15,7 +16,8 @@ OUT="$(mktemp)"
 KB="$(mktemp)"
 trap 'rm -f "${OUT}" "${KB}"' EXIT
 
-for target in example_quickstart example_fuse_tsv example_query_kb; do
+for target in example_quickstart example_fuse_tsv example_query_kb \
+              example_serve_kb; do
   if [[ ! -x "${BUILD_DIR}/examples/${target}" ]]; then
     cmake -B "${BUILD_DIR}" -S . > /dev/null
     cmake --build "${BUILD_DIR}" --target "${target}" \
@@ -80,5 +82,11 @@ grep -q "1962-07-03)  p=" "${OUT}"
 grep -q "supporting    extractor=" "${OUT}"
 grep -q "contradicting extractor=" "${OUT}"
 grep -q "round-trip: equal" "${OUT}"
+
+echo "== serve_kb (live readers under a publishing writer) ==" >&2
+"${BUILD_DIR}/examples/example_serve_kb" > "${OUT}"
+grep -q "generation 11 live" "${OUT}"
+grep -q "pinned generation 1 still serves" "${OUT}"
+grep -q "serving demo done" "${OUT}"
 
 echo "examples smoke OK" >&2

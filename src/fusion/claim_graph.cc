@@ -52,12 +52,20 @@ size_t ClaimGraph::Update(const extract::ExtractionDataset& dataset,
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (dirty[s]) dirty_shards.push_back(static_cast<uint32_t>(s));
   }
+  // Splice the global cross-index instead of re-counting every claim:
+  // retire the dirty shards' old local-index contributions, rebuild those
+  // shards (claim columns + local prov index), re-add their new
+  // contributions, and re-derive the segment directory. Clean shards'
+  // claims are never touched.
+  prov_claims_.resize(prov_index_.size(), 0);  // new provs enter at 0
+  for (uint32_t s : dirty_shards) AccumulateShardCounts(shards_[s], -1);
   // Shard rebuilds are independent (each touches only its own Shard), so
   // the result is identical for any worker count.
   ParallelFor(dirty_shards.size(), num_workers_, [&](size_t d) {
     RebuildShard(dataset, &shards_[dirty_shards[d]]);
   });
-  RebuildProvIndex();
+  for (uint32_t s : dirty_shards) AccumulateShardCounts(shards_[s], +1);
+  RebuildSegmentDirectory();
   return dirty_shards.size();
 }
 
@@ -154,29 +162,68 @@ void ClaimGraph::RebuildShard(const extract::ExtractionDataset& dataset,
     }
     shard->item_distinct[g] = distinct;
   }
+
+  // Local provenance cross-index over the FINAL claim columns (the sorted
+  // groups above are the order the global cross-index historically swept,
+  // shard-major). Stable permutation by prov keeps each provenance's
+  // triples in claim-column order, so concatenating the per-shard groups
+  // reproduces the old global prov_triples order bit for bit.
+  StableSortPermutation(shard->claim_prov.data(), num_claims, &perm);
+  shard->prov_ids.clear();
+  shard->prov_offsets.clear();
+  shard->prov_triples.resize(num_claims);
+  for (size_t i = 0; i < num_claims; ++i) {
+    const uint32_t p = shard->claim_prov[perm[i]];
+    if (shard->prov_ids.empty() || shard->prov_ids.back() != p) {
+      shard->prov_ids.push_back(p);
+      shard->prov_offsets.push_back(static_cast<uint32_t>(i));
+    }
+    shard->prov_triples[i] = shard->claim_triple[perm[i]];
+  }
+  shard->prov_offsets.push_back(static_cast<uint32_t>(num_claims));
 }
 
-// The cross-index is refreshed with one flat O(total claims) pass — no
-// hashing, no dedup — even when a single shard changed. That keeps Update
-// bounded by roughly one Stage sweep (the engine re-runs its rounds after
-// any append anyway); the shard-local dedup above is where the real
-// rebuild cost lives. Splicing only the dirty shards' segments is the next
-// optimization if appends ever dominate (see ROADMAP).
-void ClaimGraph::RebuildProvIndex() {
-  const size_t num_provs = prov_index_.size();
-  prov_claims_.assign(num_provs, 0);
-  num_claims_ = 0;
-  for (const Shard& sh : shards_) {
-    num_claims_ += sh.num_claims();
-    for (uint32_t prov : sh.claim_prov) ++prov_claims_[prov];
+void ClaimGraph::AccumulateShardCounts(const Shard& shard, int sign) {
+  for (size_t k = 0; k < shard.num_prov_segments(); ++k) {
+    const uint32_t width = shard.prov_offsets[k + 1] - shard.prov_offsets[k];
+    if (sign > 0) {
+      prov_claims_[shard.prov_ids[k]] += width;
+    } else {
+      KF_CHECK(prov_claims_[shard.prov_ids[k]] >= width);
+      prov_claims_[shard.prov_ids[k]] -= width;
+    }
   }
-  prov_offsets_ = mr::CsrOffsets(prov_claims_);
-  prov_triples_.resize(num_claims_);
-  std::vector<uint32_t> cursor(prov_offsets_.begin(),
-                               prov_offsets_.end() - 1);
+  if (sign > 0) {
+    num_claims_ += shard.num_claims();
+  } else {
+    KF_CHECK(num_claims_ >= shard.num_claims());
+    num_claims_ -= shard.num_claims();
+  }
+}
+
+// The directory is O(total segments + num_provs) to re-derive — a segment
+// is one (shard, provenance) pair, typically orders of magnitude fewer
+// than claims — and the per-claim work (the local indexes) was already
+// paid only for the dirty shards. This is the "splice" the ROADMAP asked
+// for: appending one record re-counts one shard, not the whole graph.
+void ClaimGraph::RebuildSegmentDirectory() {
+  const size_t num_provs = prov_index_.size();
+  std::vector<uint32_t> seg_counts(num_provs, 0);
+  size_t total_segments = 0;
   for (const Shard& sh : shards_) {
-    for (size_t i = 0; i < sh.num_claims(); ++i) {
-      prov_triples_[cursor[sh.claim_prov[i]]++] = sh.claim_triple[i];
+    total_segments += sh.num_prov_segments();
+    for (uint32_t p : sh.prov_ids) ++seg_counts[p];
+  }
+  prov_seg_offsets_ = mr::CsrOffsets(seg_counts);
+  prov_segments_.resize(total_segments);
+  std::vector<uint32_t> cursor(prov_seg_offsets_.begin(),
+                               prov_seg_offsets_.end() - 1);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    for (size_t k = 0; k < sh.num_prov_segments(); ++k) {
+      prov_segments_[cursor[sh.prov_ids[k]]++] = ProvSegment{
+          static_cast<uint32_t>(s), sh.prov_offsets[k],
+          sh.prov_offsets[k + 1]};
     }
   }
 }

@@ -67,8 +67,31 @@ class ClaimGraph {
     /// one (same semantics as ClaimSet::confidence).
     std::vector<float> claim_confidence;
 
+    /// Local provenance cross-index: the shard's claims regrouped by
+    /// provenance. prov_ids lists the distinct dense provenance ids
+    /// claiming in this shard, ascending; prov_offsets is the CSR into
+    /// prov_triples (size prov_ids.size() + 1). Within one provenance the
+    /// triples keep the shard's final claim-column order, so concatenating
+    /// the per-shard groups shard-major reproduces the historical global
+    /// cross-index order exactly. Rebuilt together with the claim columns,
+    /// which is what lets Update() splice the global directory instead of
+    /// re-counting every claim.
+    std::vector<uint32_t> prov_ids;
+    std::vector<uint32_t> prov_offsets;
+    std::vector<kb::TripleId> prov_triples;
+
     size_t num_items() const { return items.size(); }
     size_t num_claims() const { return claim_triple.size(); }
+    size_t num_prov_segments() const { return prov_ids.size(); }
+  };
+
+  /// One provenance's claims within one shard: a span of
+  /// shard(seg.shard).prov_triples. The global cross-index is the
+  /// concatenation of a provenance's segments in directory order.
+  struct ProvSegment {
+    uint32_t shard = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
   };
 
   ClaimGraph() = default;
@@ -83,8 +106,10 @@ class ClaimGraph {
              size_t num_workers = 0, size_t num_records = kAllRecords);
 
   /// Ingests records appended to `dataset` since the last build/update (up
-  /// to `num_records`), rebuilding only the touched shards, then refreshes
-  /// the provenance cross-index. Returns the number of shards rebuilt (0
+  /// to `num_records`), rebuilding only the touched shards, then splices
+  /// the provenance cross-index: clean shards keep their local prov
+  /// segments and only the directory (O(segments)) is re-derived — never a
+  /// flat O(total claims) pass. Returns the number of shards rebuilt (0
   /// for an empty append). The dataset must be append-only with respect to
   /// the records already indexed.
   size_t Update(const extract::ExtractionDataset& dataset,
@@ -99,14 +124,31 @@ class ClaimGraph {
 
   // ---- provenance cross-index (Stage II sweeps) ----
   size_t num_provs() const { return prov_claims_.size(); }
-  /// CSR offsets into prov_triples(); size num_provs() + 1.
-  const std::vector<uint32_t>& prov_offsets() const { return prov_offsets_; }
-  /// Triples claimed by each provenance, shard-major deterministic order.
-  const std::vector<kb::TripleId>& prov_triples() const {
-    return prov_triples_;
-  }
-  /// Claims per provenance (the CSR group sizes).
+  /// Claims per provenance.
   const std::vector<uint32_t>& prov_claims() const { return prov_claims_; }
+  /// Per-provenance segment directory (CSR into prov_segments(); size
+  /// num_provs() + 1). Segments of one provenance appear shard-major, so
+  /// visiting them in order reproduces the deterministic global order.
+  const std::vector<uint32_t>& prov_segment_offsets() const {
+    return prov_seg_offsets_;
+  }
+  const std::vector<ProvSegment>& prov_segments() const {
+    return prov_segments_;
+  }
+
+  /// Visits every triple claimed by provenance p as fn(triple), in the
+  /// fixed deterministic cross-index order (shard-major; within a shard,
+  /// final claim-column order). This order does not depend on which
+  /// shards the last Update() rebuilt.
+  template <typename Fn>
+  void ForEachProvTriple(uint32_t p, Fn&& fn) const {
+    for (uint32_t s = prov_seg_offsets_[p]; s < prov_seg_offsets_[p + 1];
+         ++s) {
+      const ProvSegment& seg = prov_segments_[s];
+      const std::vector<kb::TripleId>& triples = shards_[seg.shard].prov_triples;
+      for (uint32_t i = seg.begin; i < seg.end; ++i) fn(triples[i]);
+    }
+  }
 
   // ---- whole-graph statistics ----
   size_t num_claims() const { return num_claims_; }
@@ -138,7 +180,12 @@ class ClaimGraph {
 
  private:
   void RebuildShard(const extract::ExtractionDataset& dataset, Shard* shard);
-  void RebuildProvIndex();
+  /// Adds (sign +1) or removes (sign -1) a shard's local cross-index
+  /// contribution to prov_claims_ / num_claims_.
+  void AccumulateShardCounts(const Shard& shard, int sign);
+  /// Re-derives the segment directory from the shards' local indexes:
+  /// O(total segments + num_provs), never O(total claims).
+  void RebuildSegmentDirectory();
 
   extract::Granularity granularity_;
   mr::Partitioner partitioner_{1};
@@ -154,11 +201,13 @@ class ClaimGraph {
 
   size_t num_records_indexed_ = 0;
   size_t num_claims_ = 0;
+  /// Maintained by per-shard deltas in Update(): only dirty shards'
+  /// contributions are subtracted and re-added.
   std::vector<uint32_t> prov_claims_;
   /// Starts as {0} so the CSR invariant (size num_provs() + 1) holds even
   /// before any record is indexed (empty dataset).
-  std::vector<uint32_t> prov_offsets_ = {0};
-  std::vector<kb::TripleId> prov_triples_;
+  std::vector<uint32_t> prov_seg_offsets_ = {0};
+  std::vector<ProvSegment> prov_segments_;
 };
 
 }  // namespace kf::fusion

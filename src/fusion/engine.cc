@@ -284,8 +284,6 @@ double FusionEngine::StageII(const FusionResult& result, double damping,
   KF_CHECK(accuracy_.size() == graph_.num_provs());
   KF_CHECK(damping > 0.0 && damping <= 1.0);
   KF_CHECK(quantile > 0.0 && quantile <= 1.0);
-  const std::vector<uint32_t>& offsets = graph_.prov_offsets();
-  const std::vector<kb::TripleId>& triples = graph_.prov_triples();
   const size_t num_provs = graph_.num_provs();
   const size_t num_blocks = (num_provs + kProvBlock - 1) / kProvBlock;
   // The quantile criterion needs every provenance's delta, not just the
@@ -299,13 +297,14 @@ double FusionEngine::StageII(const FusionResult& result, double damping,
     const size_t p_end = std::min((b + 1) * kProvBlock, num_provs);
     for (size_t p = b * kProvBlock; p < p_end; ++p) {
       values.clear();
-      for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
-        kb::TripleId t = triples[i];
+      // Segment-directory sweep (shard-major per provenance): the same
+      // triple visitation order the flat cross-index used to store.
+      graph_.ForEachProvTriple(static_cast<uint32_t>(p), [&](kb::TripleId t) {
         // Fallback probabilities are not data-driven; they must not
         // reinforce accuracies.
-        if (!result.has_probability[t] || result.from_fallback[t]) continue;
+        if (!result.has_probability[t] || result.from_fallback[t]) return;
         values.push_back(static_cast<float>(result.probability[t]));
-      }
+      });
       if (values.empty()) continue;
       if (values.size() > options_.sample_cap) {
         Rng rng(HashCombine(HashCombine(options_.seed, 0x52),

@@ -54,6 +54,7 @@ Result<fusion::FusionResult> Session::Fuse(
     method_ = name;
   }
   last_ = fuser_->Run(*dataset_, options, ctx);
+  fused_records_ = dataset_->num_records();
   return *last_;
 }
 
@@ -72,7 +73,10 @@ Result<fusion::FusionResult> Session::Refuse() {
     return Status::FailedPrecondition("Refuse() before any Fuse()");
   }
   Result<fusion::FusionResult> result = fuser_->Refuse(*dataset_);
-  if (result.ok()) last_ = *result;
+  if (result.ok()) {
+    last_ = *result;
+    fused_records_ = dataset_->num_records();
+  }
   return result;
 }
 

@@ -111,6 +111,15 @@ class Session {
   }
   /// Resolved registry name of the last Fuse() method ("" before).
   const std::string& method() const { return method_; }
+  /// Whether Refuse() has warm state to start from (a Fuse() ran and
+  /// created a fuser). kf::KbServer uses this to pick cold Fuse vs warm
+  /// Refuse on publish.
+  bool can_refuse() const { return fuser_ != nullptr; }
+  /// Records of the owned/borrowed dataset not yet covered by the last
+  /// result — i.e. appended since the run that produced last_result().
+  size_t pending_records() const {
+    return dataset_->num_records() - fused_records_;
+  }
 
  private:
   Session(std::optional<extract::ExtractionDataset> owned,
@@ -123,6 +132,8 @@ class Session {
   std::string method_;
   std::unique_ptr<fusion::Fuser> fuser_;
   std::optional<fusion::FusionResult> last_;
+  /// Dataset size when last_ was produced (for pending_records()).
+  size_t fused_records_ = 0;
 };
 
 }  // namespace kf

@@ -70,22 +70,63 @@ TEST(ClaimGraphTest, ShardsPartitionItemsDisjointly) {
   }
 }
 
+/// The global per-prov triple sequences, materialized through the segment
+/// directory (the only supported cross-index view).
+std::vector<std::vector<kb::TripleId>> ProvSequences(const ClaimGraph& graph) {
+  std::vector<std::vector<kb::TripleId>> out(graph.num_provs());
+  for (size_t p = 0; p < graph.num_provs(); ++p) {
+    graph.ForEachProvTriple(static_cast<uint32_t>(p),
+                            [&](kb::TripleId t) { out[p].push_back(t); });
+  }
+  return out;
+}
+
 TEST(ClaimGraphTest, ProvCrossIndexCoversEveryClaim) {
   const auto& corpus = SmallCorpus();
   ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorSite(),
                    /*num_shards=*/8);
-  ASSERT_EQ(graph.prov_offsets().size(), graph.num_provs() + 1);
-  EXPECT_EQ(graph.prov_offsets().back(), graph.num_claims());
-  EXPECT_EQ(graph.prov_triples().size(), graph.num_claims());
-  // Cross-index multiset == shard-column multiset, per provenance.
+  ASSERT_EQ(graph.prov_segment_offsets().size(), graph.num_provs() + 1);
+  EXPECT_EQ(graph.prov_segment_offsets().back(), graph.prov_segments().size());
+  // Cross-index multiset == shard-column multiset, per provenance; counts
+  // and total must add up to every deduplicated claim exactly once.
   std::vector<std::multiset<kb::TripleId>> from_shards(graph.num_provs());
   graph.ForEachClaim([&](kb::DataItemId, kb::TripleId triple, uint32_t prov,
                          float) { from_shards[prov].insert(triple); });
+  size_t total = 0;
+  const auto sequences = ProvSequences(graph);
   for (size_t p = 0; p < graph.num_provs(); ++p) {
-    std::multiset<kb::TripleId> from_index(
-        graph.prov_triples().begin() + graph.prov_offsets()[p],
-        graph.prov_triples().begin() + graph.prov_offsets()[p + 1]);
+    std::multiset<kb::TripleId> from_index(sequences[p].begin(),
+                                           sequences[p].end());
     ASSERT_EQ(from_index, from_shards[p]) << "prov " << p;
+    ASSERT_EQ(sequences[p].size(), graph.prov_claims()[p]) << "prov " << p;
+    total += sequences[p].size();
+  }
+  EXPECT_EQ(total, graph.num_claims());
+}
+
+TEST(ClaimGraphTest, ShardLocalProvIndexMatchesClaimColumns) {
+  const auto& corpus = SmallCorpus();
+  ClaimGraph graph(corpus.dataset, extract::Granularity::ExtractorUrl(),
+                   /*num_shards=*/8);
+  for (size_t s = 0; s < graph.num_shards(); ++s) {
+    const ClaimGraph::Shard& sh = graph.shard(s);
+    ASSERT_EQ(sh.prov_offsets.size(), sh.num_prov_segments() + 1);
+    ASSERT_EQ(sh.prov_triples.size(), sh.num_claims());
+    ASSERT_TRUE(std::is_sorted(sh.prov_ids.begin(), sh.prov_ids.end()));
+    // Per provenance, the local group must equal the subsequence of the
+    // claim columns claimed by that provenance, in claim-column order.
+    std::map<uint32_t, std::vector<kb::TripleId>> expected;
+    for (size_t i = 0; i < sh.num_claims(); ++i) {
+      expected[sh.claim_prov[i]].push_back(sh.claim_triple[i]);
+    }
+    ASSERT_EQ(sh.num_prov_segments(), expected.size());
+    for (size_t k = 0; k < sh.num_prov_segments(); ++k) {
+      std::vector<kb::TripleId> local(
+          sh.prov_triples.begin() + sh.prov_offsets[k],
+          sh.prov_triples.begin() + sh.prov_offsets[k + 1]);
+      ASSERT_EQ(local, expected[sh.prov_ids[k]])
+          << "shard " << s << " prov " << sh.prov_ids[k];
+    }
   }
 }
 
@@ -112,7 +153,9 @@ bool ShardsEqual(const ClaimGraph::Shard& a, const ClaimGraph::Shard& b) {
          a.item_offsets == b.item_offsets && a.item_multi == b.item_multi &&
          a.item_distinct == b.item_distinct &&
          a.claim_triple == b.claim_triple && a.claim_prov == b.claim_prov &&
-         a.claim_confidence == b.claim_confidence;
+         a.claim_confidence == b.claim_confidence &&
+         a.prov_ids == b.prov_ids && a.prov_offsets == b.prov_offsets &&
+         a.prov_triples == b.prov_triples;
 }
 
 // The sorted-group invariant the run-length Stage I scorers rely on:
@@ -203,9 +246,12 @@ TEST(ClaimGraphTest, IncrementalUpdateMatchesFullBuild) {
   for (size_t s = 0; s < full.num_shards(); ++s) {
     ASSERT_TRUE(ShardsEqual(incr.shard(s), full.shard(s))) << "shard " << s;
   }
-  EXPECT_EQ(incr.prov_offsets(), full.prov_offsets());
-  EXPECT_EQ(incr.prov_triples(), full.prov_triples());
+  // The spliced cross-index must agree with the full build EXACTLY —
+  // same per-prov triple sequences (order matters: Stage II reduces in
+  // this order), same counts, same claim total.
+  EXPECT_EQ(ProvSequences(incr), ProvSequences(full));
   EXPECT_EQ(incr.prov_claims(), full.prov_claims());
+  EXPECT_EQ(incr.num_claims(), full.num_claims());
 }
 
 TEST(ClaimGraphTest, EmptyUpdateRebuildsNothing) {

@@ -1,0 +1,265 @@
+// Concurrency stress for kf::KbServer, designed to run under TSan (the
+// `tsan` preset / check.sh --tsan; CI runs it there on every push): 8
+// reader threads hammer Acquire()+Verdict()/Lookup() while one writer
+// publishes ~100 generations. Every observed snapshot must be internally
+// consistent — monotonic seqno per reader, stats matching the snapshot's
+// own KB, and a whole-KB fingerprint equal to what the writer recorded
+// for that generation (i.e. verdicts from exactly one published
+// generation, no torn reads). The linearizability-style check: a reader
+// that observed published_seqno() >= S must never then acquire a
+// generation < S.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "kf/kb_server.h"
+#include "synth/corpus.h"
+
+namespace kf {
+namespace {
+
+/// FNV-1a over every verdict of the KB: index, probability bit pattern,
+/// flags, and winner marks. Two KBs agree iff they answer identically, so
+/// a fingerprint mismatch means a reader saw state from two generations.
+uint64_t Fingerprint(const FusedKB& kb) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(kb.num_triples());
+  mix(kb.num_provenances());
+  for (uint32_t i = 0; i < kb.num_triples(); ++i) {
+    KbVerdict v = kb.verdict(i);
+    mix(i);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v.probability), "");
+    std::memcpy(&bits, &v.probability, sizeof(bits));
+    mix(v.has_probability ? bits : 0x9e3779b97f4a7c15ull);
+    mix((static_cast<uint64_t>(v.winner) << 1) |
+        static_cast<uint64_t>(v.from_fallback));
+  }
+  return h;
+}
+
+struct Observation {
+  uint64_t seqno = 0;
+  uint64_t fingerprint = 0;
+};
+
+TEST(KbServerStressTest, ReadersSeeOnlyWholePublishedGenerations) {
+  // Small corpus so ~100 warm publishes stay fast even under TSan's
+  // interception overhead.
+  synth::SynthConfig config = synth::SynthConfig::Small().Scaled(0.5);
+  synth::SynthCorpus corpus = synth::GenerateCorpus(config);
+  const auto& src = corpus.dataset;
+  const size_t base = src.num_records() / 2;
+
+  extract::ExtractionDataset dataset = extract::CloneRecordPrefix(src, base);
+  std::vector<extract::ExtractionRecord> tail =
+      extract::ReinternTail(src, base, &dataset);
+
+  KbServer::Options options;
+  options.fusion.method = fusion::Method::kAccu;
+  options.fusion.max_rounds = 50;
+  options.fusion.convergence_epsilon = 1e-3;
+  options.fusion.num_shards = 8;
+  options.fusion.num_workers = 1;  // the server's own threads are the test
+  KbServer server(std::move(dataset), options);
+
+  constexpr size_t kReaders = 8;
+  constexpr size_t kGenerations = 100;
+
+  // expected[s] = fingerprint of generation s, recorded by the writer
+  // right after publishing s (the writer is the only publisher, so the
+  // snapshot it acquires for s IS generation s). Readers record their own
+  // observations and everything is cross-checked after the join — no
+  // auxiliary synchronization that could mask a server bug.
+  std::vector<uint64_t> expected(kGenerations + 2, 0);
+  std::atomic<bool> done{false};
+
+  ASSERT_TRUE(server.Publish().ok());
+  {
+    KbSnapshotRef first = server.Acquire();
+    ASSERT_NE(first, nullptr);
+    expected[1] = Fingerprint(first->kb());
+  }
+
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::vector<std::string> failures(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([r, &server, &observed, &failures, &done] {
+      KbServer::Reader reader(server);
+      uint64_t last_seqno = 0;
+      std::vector<Observation>& log = observed[r];
+      bool final_pass = false;
+      for (;;) {
+        // One extra full pass after the writer finished, so every reader
+        // provably observes the final generation too.
+        if (done.load(std::memory_order_acquire)) {
+          if (final_pass) break;
+          final_pass = true;
+        }
+        // The monotonicity contract: after seeing published_seqno() == s,
+        // the acquired generation must be >= s.
+        const uint64_t seen = server.published_seqno();
+        const KbSnapshotRef& snap = reader.Acquire();
+        if (snap == nullptr) {
+          failures[r] = "null snapshot after first publish";
+          break;
+        }
+        const KbSnapshotStats& stats = snap->stats();
+        if (stats.seqno < seen) {
+          failures[r] = "acquired generation older than observed seqno";
+          break;
+        }
+        if (stats.seqno < last_seqno) {
+          failures[r] = "per-reader seqno moved backwards";
+          break;
+        }
+        last_seqno = stats.seqno;
+        // Internal consistency of the snapshot we hold.
+        if (stats.num_triples != snap->kb().num_triples()) {
+          failures[r] = "stats.num_triples disagrees with the KB";
+          break;
+        }
+        // Serve a few point queries THROUGH the snapshot (the real read
+        // path), then fingerprint the whole KB for the cross-check.
+        std::vector<KbVerdict> top = snap->kb().TopK(3);
+        for (const KbVerdict& v : top) {
+          auto direct =
+              snap->kb().Verdict(v.subject, v.predicate, v.object);
+          if (!direct.has_value() ||
+              direct->probability != v.probability) {
+            failures[r] = "Verdict() disagrees with TopK() in one snapshot";
+          }
+        }
+        log.push_back(Observation{stats.seqno, Fingerprint(snap->kb())});
+      }
+    });
+  }
+
+  // The writer: append a slice of the tail (possibly empty once the tail
+  // runs dry) and publish, kGenerations times.
+  size_t next = 0;
+  for (size_t g = 0; g < kGenerations; ++g) {
+    const size_t width = tail.size() / kGenerations;
+    const size_t upto =
+        g + 1 == kGenerations ? tail.size() : std::min(tail.size(), next + width);
+    std::vector<extract::ExtractionRecord> batch(
+        tail.begin() + static_cast<ptrdiff_t>(next),
+        tail.begin() + static_cast<ptrdiff_t>(upto));
+    next = upto;
+    Result<KbSnapshotStats> published = server.AppendAndPublish(batch);
+    ASSERT_TRUE(published.ok()) << published.status().ToString();
+    KbSnapshotRef snap = server.Acquire();
+    ASSERT_NE(snap, nullptr);
+    ASSERT_EQ(snap->stats().seqno, published->seqno);
+    expected[published->seqno] = Fingerprint(snap->kb());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  const uint64_t final_seqno = server.published_seqno();
+  ASSERT_EQ(final_seqno, kGenerations + 1);
+
+  size_t total_reads = 0;
+  for (size_t r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(failures[r], "") << "reader " << r;
+    ASSERT_FALSE(observed[r].empty()) << "reader " << r << " never read";
+    uint64_t prev = 0;
+    for (const Observation& o : observed[r]) {
+      ASSERT_GE(o.seqno, prev) << "reader " << r;
+      ASSERT_GE(o.seqno, 1u);
+      ASSERT_LE(o.seqno, final_seqno);
+      // The torn-read check: the observed KB must be bit-for-bit the one
+      // the writer published under that seqno.
+      ASSERT_EQ(o.fingerprint, expected[o.seqno])
+          << "reader " << r << " saw a mixed/torn generation " << o.seqno;
+      prev = o.seqno;
+    }
+    // The post-writer pass guarantees every reader reached the end.
+    EXPECT_EQ(observed[r].back().seqno, final_seqno) << "reader " << r;
+    total_reads += observed[r].size();
+  }
+  // Soft sanity: the readers collectively did real work.
+  EXPECT_GT(total_reads, kReaders);
+}
+
+TEST(KbServerStressTest, ConvenienceQueriesAreSafeUnderLivePublishes) {
+  // The owning-copy convenience path (Lookup/Verdict/TopK on the server
+  // itself) acquires and releases a snapshot per call — exactly the
+  // pattern that would explode if publication ever freed a generation
+  // still in use. 4 readers of that style + live writer.
+  synth::SynthConfig config = synth::SynthConfig::Small().Scaled(0.3);
+  synth::SynthCorpus corpus = synth::GenerateCorpus(config);
+  const auto& src = corpus.dataset;
+  const size_t base = src.num_records() / 2;
+  extract::ExtractionDataset dataset = extract::CloneRecordPrefix(src, base);
+  std::vector<extract::ExtractionRecord> tail =
+      extract::ReinternTail(src, base, &dataset);
+
+  KbServer::Options options;
+  options.fusion.method = fusion::Method::kAccu;
+  options.fusion.max_rounds = 30;
+  options.fusion.convergence_epsilon = 1e-3;
+  options.fusion.num_shards = 8;
+  options.fusion.num_workers = 1;
+  KbServer server(std::move(dataset), options);
+  ASSERT_TRUE(server.Publish().ok());
+
+  // A stable probe key that exists from generation 1 on.
+  std::vector<ServedVerdict> top = server.TopK(1);
+  ASSERT_FALSE(top.empty());
+  const std::string subject = top[0].subject;
+  const std::string predicate = top[0].predicate;
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        std::optional<ServedVerdict> v = server.Lookup(subject, predicate);
+        if (v.has_value()) {
+          EXPECT_GE(v->seqno, last);
+          last = v->seqno;
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::vector<ServedVerdict> t = server.TopK(2);
+        EXPECT_FALSE(t.empty());
+      }
+    });
+  }
+
+  const size_t kGenerations = 40;
+  size_t next = 0;
+  for (size_t g = 0; g < kGenerations; ++g) {
+    const size_t upto = g + 1 == kGenerations
+                            ? tail.size()
+                            : std::min(tail.size(),
+                                       next + tail.size() / kGenerations);
+    std::vector<extract::ExtractionRecord> batch(
+        tail.begin() + static_cast<ptrdiff_t>(next),
+        tail.begin() + static_cast<ptrdiff_t>(upto));
+    next = upto;
+    ASSERT_TRUE(server.AppendAndPublish(batch).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_EQ(server.published_seqno(), kGenerations + 1);
+}
+
+}  // namespace
+}  // namespace kf
