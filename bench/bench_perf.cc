@@ -365,6 +365,50 @@ void BM_FusedKbTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedKbTopK)->Arg(10)->Arg(1000);
 
+// ---- parallel scaling curves ----
+
+// The same work at 1/2/4/8 workers, as one family so
+// scripts/bench_compare.py can compute parallel efficiency
+// eff(w) = time(1w) / (w * time(w)) and gate regressions on it. Stage I
+// (the dominant sweep) and end-to-end POPACCU (includes Stage II, graph
+// build, and pool handshakes). items_per_second is the headline metric.
+void BM_ScalingCurveStageI(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  fusion::FusionEngine engine(
+      corpus.dataset, PopAccuOpts(static_cast<size_t>(state.range(0))));
+  fusion::FusionResult result = engine.Prepare();
+  for (auto _ : state) {
+    engine.StageI(1, &result);
+    benchmark::DoNotOptimize(result.probability.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(engine.num_claims()));
+}
+BENCHMARK(BM_ScalingCurveStageI)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalingCurvePopAccu(benchmark::State& state) {
+  const auto& corpus = CorpusAtScale(1.0);
+  fusion::FusionOptions opts =
+      PopAccuOpts(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = bench::RunFusion(corpus.dataset, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          corpus.dataset.num_records());
+}
+BENCHMARK(BM_ScalingCurvePopAccu)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // ---- end-to-end fusion ----
 
 void BM_FusePopAccu(benchmark::State& state) {

@@ -23,10 +23,22 @@ BM_KbServerQps serving series, where per-iteration time is a poor proxy
 for multi-threaded QPS) are additionally gated on throughput: a drop of
 more than --threshold percent fails even when per-iteration time looks
 flat.
+
+Scaling-curve families (BM_ScalingCurve*/W, where W is the worker count)
+are additionally gated on parallel efficiency
+
+    eff(W) = time(1 worker) / (W * time(W workers))
+
+computed per file from the family's own 1-worker row. Per-name time
+deltas cannot see a scaling regression when every worker count slows
+down proportionally less (or the 1-worker row speeds up more) — the
+efficiency gate fails when eff drops by more than --threshold percent
+relative to the baseline's efficiency at the same worker count.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -60,6 +72,28 @@ def build_type(context):
     # a Release configure), so inheriting it would cry wolf on every
     # valid pre-kf_build_type recording.
     return context.get("kf_build_type", "unknown")
+
+
+SCALING_RE = re.compile(r"^(BM_ScalingCurve\w*)/(\d+)$")
+
+
+def scaling_efficiencies(runs, metric):
+    """Per scaling family: {worker_count: efficiency} from one file's runs."""
+    families = {}
+    for name, run in runs.items():
+        m = SCALING_RE.match(name)
+        if not m:
+            continue
+        families.setdefault(m.group(1), {})[int(m.group(2))] = run[metric]
+    effs = {}
+    for family, times in families.items():
+        t1 = times.get(1)
+        if not t1:
+            continue  # no 1-worker reference row (or zero time): skip
+        effs[family] = {
+            w: t1 / (w * tw) for w, tw in times.items() if w > 1 and tw
+        }
+    return effs
 
 
 def main():
@@ -136,7 +170,28 @@ def main():
                       f"{oi:>11.4g}/s  {ni:>11.4g}/s  {tdelta:>+7.1f}%")
                 regressions.append((name + " [items/sec]", -tdelta))
 
+    # Parallel-efficiency gate over the scaling-curve families.
+    old_effs = scaling_efficiencies(old_runs, args.metric)
+    new_effs = scaling_efficiencies(new_runs, args.metric)
+    eff_regressions = []
+    shared_families = sorted(set(old_effs) & set(new_effs))
+    if shared_families:
+        print("\nparallel efficiency (eff = t1 / (w * tw)):")
+        for family in shared_families:
+            for w in sorted(set(old_effs[family]) & set(new_effs[family])):
+                oe, ne = old_effs[family][w], new_effs[family][w]
+                delta = (ne - oe) / oe * 100.0 if oe else float("inf")
+                print(f"  {family}/{w}: {oe:.3f} -> {ne:.3f} ({delta:+.1f}%)")
+                if delta < -args.threshold:
+                    eff_regressions.append((f"{family}/{w}", delta))
+
     failed = False
+    if eff_regressions:
+        print(f"\n{len(eff_regressions)} parallel-efficiency regression(s) "
+              f"beyond {args.threshold:.1f}%:", file=sys.stderr)
+        for name, delta in eff_regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        failed = True
     if mismatched:
         print(f"\n{len(mismatched)} benchmark(s) with incomparable time "
               "units (re-record the baseline):", file=sys.stderr)

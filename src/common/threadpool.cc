@@ -2,10 +2,57 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "common/logging.h"
 
 namespace kf {
+namespace {
+
+std::atomic<size_t> g_total_threads_created{0};
+
+/// Set while the current thread executes a ParallelFor body. Nested calls
+/// observe it and run inline: a pool worker that blocked waiting on inner
+/// helpers could deadlock a saturated pool, so re-entrancy degrades to
+/// sequential instead.
+thread_local bool tls_in_parallel_for = false;
+
+/// Shared control block of one ParallelFor call. Helpers and the caller
+/// all run RunLoop(), claiming `grain`-sized chunks from `next` until the
+/// range is exhausted or a body throws. Lifetime is managed by
+/// shared_ptr: a helper scheduled after the work ran dry still touches
+/// only this block, never the caller's stack.
+struct PforState {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  size_t n = 0;
+  size_t grain = 1;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;       // first failure (guarded by mu)
+  size_t helpers_pending = 0;     // helpers not yet finished (guarded by mu)
+
+  void RunLoop() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(n, begin + grain);
+      try {
+        for (size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -14,6 +61,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
+    g_total_threads_created.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -60,33 +108,67 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& ThreadPool::Global() {
+  // Meyers singleton: created on first ParallelFor that wants helpers,
+  // destroyed (threads joined) at process exit.
+  static ThreadPool pool(
+      std::max<size_t>(std::thread::hardware_concurrency(),
+                       kMinGlobalPoolThreads));
+  return pool;
+}
+
+size_t ThreadPool::TotalThreadsCreated() {
+  return g_total_threads_created.load(std::memory_order_relaxed);
+}
+
 void ParallelFor(size_t n, size_t num_threads,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn, size_t grain) {
   if (n == 0) return;
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
-  num_threads = std::min(num_threads, n);
-  if (num_threads == 1) {
+  if (grain == 0) grain = std::max<size_t>(1, n / (num_threads * 8));
+  // Clamp to the number of chunks that actually exist, so a small n never
+  // wakes helpers that would find the counter already exhausted (the old
+  // per-call spawn path started num_threads threads regardless).
+  const size_t num_chunks = (n + grain - 1) / grain;
+  num_threads = std::min(num_threads, num_chunks);
+  if (num_threads <= 1 || tls_in_parallel_for) {
+    // Exactly the plain sequential loop (the 1-worker determinism
+    // baseline); exceptions propagate natively. Also the nested-call
+    // policy: a body that calls ParallelFor runs the inner loop inline.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Chunked dynamic scheduling: each worker claims a contiguous block.
-  std::atomic<size_t> next{0};
-  const size_t chunk = std::max<size_t>(1, n / (num_threads * 8));
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    threads.emplace_back([&] {
-      for (;;) {
-        size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        size_t end = std::min(n, begin + chunk);
-        for (size_t i = begin; i < end; ++i) fn(i);
-      }
+
+  auto state = std::make_shared<PforState>();
+  state->n = n;
+  state->grain = grain;
+  state->fn = &fn;
+  const size_t helpers = num_threads - 1;
+  state->helpers_pending = helpers;
+
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t t = 0; t < helpers; ++t) {
+    pool.Submit([state] {
+      tls_in_parallel_for = true;
+      state->RunLoop();
+      tls_in_parallel_for = false;
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->helpers_pending == 0) state->done_cv.notify_all();
     });
   }
-  for (auto& t : threads) t.join();
+  // The caller is always one of the workers: progress does not depend on
+  // pool scheduling, and a 2-worker call costs a single Submit.
+  tls_in_parallel_for = true;
+  state->RunLoop();
+  tls_in_parallel_for = false;
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->helpers_pending == 0; });
+  // Rethrow the first body failure on the caller (the old implementation
+  // let it escape a worker thread and terminate the process).
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace kf

@@ -1,6 +1,7 @@
 #include "fusion/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -33,6 +34,22 @@ std::unique_ptr<Scorer> MakeScorer(const FusionOptions& options) {
 /// worker count so the reduction decomposition is reproducible.
 constexpr size_t kProvBlock = 256;
 
+/// Minimum claims per Stage I sweep task. Shards are hash partitions of
+/// the items, so their claim counts are skewed; tasks are cut along the
+/// largest-first shard order so every task carries at least this much
+/// work (big shards become singleton tasks, the small-shard tail is
+/// batched). Independent of the worker count, so the schedule — like the
+/// results — is reproducible; workers only affect who executes a task.
+constexpr size_t kMinSweepClaimsPerTask = 2048;
+
+/// One claim surviving the reservoir sample of an oversized group; keeps
+/// the (triple, accuracy, log-odds) columns aligned through the sample.
+struct SampledClaim {
+  kb::TripleId triple;
+  double accuracy;
+  double log_odds;
+};
+
 }  // namespace
 
 double FusionResult::Coverage() const {
@@ -59,6 +76,7 @@ FusionEngine::FusionEngine(const extract::ExtractionDataset& dataset,
 
 size_t FusionEngine::Refresh() {
   size_t rebuilt = graph_.Update(dataset_);
+  if (rebuilt > 0) sweep_schedule_stale_ = true;
   // Streaming callers may sweep again without re-Preparing: provenances
   // introduced by the append enter at the default accuracy until Stage II
   // evaluates them (a fresh Prepare()/Run() re-initializes everything).
@@ -67,6 +85,42 @@ size_t FusionEngine::Refresh() {
     evaluated_.resize(graph_.num_provs(), 0);
   }
   return rebuilt;
+}
+
+void FusionEngine::RebuildSweepSchedule() {
+  const size_t num_shards = graph_.num_shards();
+  sweep_order_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    sweep_order_[s] = static_cast<uint32_t>(s);
+  }
+  // Largest-first: the most loaded shard starts immediately, so one
+  // mega-shard overlaps everything else instead of being picked up last
+  // and serializing the tail of the sweep (LPT-style balance). Stable so
+  // equal-sized shards keep id order and the schedule is deterministic.
+  std::stable_sort(sweep_order_.begin(), sweep_order_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return graph_.shard(a).num_claims() >
+                            graph_.shard(b).num_claims();
+                   });
+  // Cut tasks along the sorted order with a per-claim grain: accumulate
+  // shards until a task holds >= kMinSweepClaimsPerTask claims. Large
+  // shards become singleton tasks; the small-shard tail batches up so a
+  // 1M-shard graph does not mean 1M atomic handshakes per round.
+  sweep_task_offsets_.clear();
+  sweep_task_offsets_.push_back(0);
+  size_t task_claims = 0;
+  for (size_t k = 0; k < num_shards; ++k) {
+    task_claims += graph_.shard(sweep_order_[k]).num_claims();
+    if (task_claims >= kMinSweepClaimsPerTask) {
+      sweep_task_offsets_.push_back(static_cast<uint32_t>(k + 1));
+      task_claims = 0;
+    }
+  }
+  if (sweep_task_offsets_.back() != num_shards) {
+    sweep_task_offsets_.push_back(static_cast<uint32_t>(num_shards));
+  }
+  shard_sweep_micros_.assign(num_shards, 0);
+  sweep_schedule_stale_ = false;
 }
 
 void FusionEngine::InitAccuracies(const std::vector<Label>* gold) {
@@ -127,7 +181,7 @@ FusionResult FusionEngine::PrepareWarm() {
 }
 
 void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
-                              bool prefer_evaluated,
+                              bool prefer_evaluated, bool score_in_place,
                               FusionResult* result) const {
   // Scratch state reused across the shard's item groups: steady-state
   // scoring allocates nothing, and the whole per-item path is hash-free —
@@ -135,10 +189,37 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
   // into a run-length sweep or a sorted merge.
   ItemClaimsBuffer group;
   TripleProbs probs;
+  const bool table = !log_odds_.empty();
 
   for (size_t g = 0; g < shard.num_items(); ++g) {
     const uint32_t begin = shard.item_offsets[g];
     const uint32_t end = shard.item_offsets[g + 1];
+
+    // Zero-copy fast path: with no filter active every claim of the group
+    // survives assembly verbatim, so score the shard's columns in place —
+    // same claims, same order, same (table) log-odds values as the
+    // assembled buffer would carry, hence bit-identical probabilities.
+    // Groups above sample_cap still need the reservoir sample and fall
+    // through to the assembly path.
+    if (score_in_place && end - begin <= options_.sample_cap) {
+      probs.clear();
+      probs.reserve(shard.item_distinct[g]);
+      ItemClaims view;
+      view.triple = shard.claim_triple.data() + begin;
+      view.count = end - begin;
+      view.sorted = true;
+      if (table) {
+        view.prov = shard.claim_prov.data() + begin;
+        view.prov_log_odds = log_odds_.data();
+      }
+      scorer_->Score(view, &probs);
+      for (const auto& [t, p] : probs) {
+        result->probability[t] = p;
+        result->has_probability[t] = 1;
+        result->from_fallback[t] = 0;
+      }
+      continue;
+    }
 
     // Coverage filter (Section 4.3.2): an item qualifies when some triple
     // of it has >= 2 claims, or when a provenance with a data-driven
@@ -160,19 +241,32 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     if (prefer_evaluated) {
       for (uint32_t i = begin; i < end; ++i) {
         uint32_t p = shard.claim_prov[i];
-        if (evaluated_[p] && (theta <= 0.0 || accuracy_[p] >= theta)) {
+        if (evaluated_[p] && (theta <= 0.0 || theta_pass_[p])) {
           use_evaluated_only = true;
           break;
         }
       }
     }
 
+    // theta_pass_ is the frozen `accuracy_[p] >= theta` bit (built by
+    // StageI whenever theta > 0), so the filter is a byte test per claim.
+    // With a table, the frozen log-odds ride along in the buffer's third
+    // column and the scorer never touches std::log.
     group.clear();
-    for (uint32_t i = begin; i < end; ++i) {
-      uint32_t p = shard.claim_prov[i];
-      if (theta > 0.0 && accuracy_[p] < theta) continue;
-      if (use_evaluated_only && !evaluated_[p]) continue;
-      group.push(shard.claim_triple[i], accuracy_[p]);
+    if (table) {
+      for (uint32_t i = begin; i < end; ++i) {
+        uint32_t p = shard.claim_prov[i];
+        if (theta > 0.0 && !theta_pass_[p]) continue;
+        if (use_evaluated_only && !evaluated_[p]) continue;
+        group.push(shard.claim_triple[i], accuracy_[p], log_odds_[p]);
+      }
+    } else {
+      for (uint32_t i = begin; i < end; ++i) {
+        uint32_t p = shard.claim_prov[i];
+        if (theta > 0.0 && !theta_pass_[p]) continue;
+        if (use_evaluated_only && !evaluated_[p]) continue;
+        group.push(shard.claim_triple[i], accuracy_[p]);
+      }
     }
 
     // Section 4.3.2's compensation: triples that lost every supporting
@@ -219,23 +313,29 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
       // from triple-sorted claim order, so groups above sample_cap keep
       // a different (equally random) subset than the pre-sorting
       // implementation drew from first-seen order.
-      std::vector<std::pair<kb::TripleId, double>> pairs;
-      pairs.reserve(group.size());
+      const bool has_lo = group.has_log_odds();
+      std::vector<SampledClaim> sample;
+      sample.reserve(group.size());
       for (size_t i = 0; i < group.size(); ++i) {
-        pairs.emplace_back(group.triples()[i], group.accuracies()[i]);
+        sample.push_back({group.triples()[i], group.accuracies()[i],
+                          has_lo ? group.log_odds()[i] : 0.0});
       }
       Rng rng(HashCombine(HashCombine(options_.seed, 0x51), shard.items[g]));
-      mr::ReservoirSample(&pairs, options_.sample_cap, &rng);
-      // Stable-sort the pairs in place (rather than SortByTriple on the
-      // buffer) so this branch adds no allocations beyond `pairs`; the
+      mr::ReservoirSample(&sample, options_.sample_cap, &rng);
+      // Stable-sort the sample in place (rather than SortByTriple on the
+      // buffer) so this branch adds no allocations beyond `sample`; the
       // re-push then records the buffer as born-sorted.
-      std::stable_sort(pairs.begin(), pairs.end(),
-                       [](const std::pair<kb::TripleId, double>& a,
-                          const std::pair<kb::TripleId, double>& b) {
-                         return a.first < b.first;
+      std::stable_sort(sample.begin(), sample.end(),
+                       [](const SampledClaim& a, const SampledClaim& b) {
+                         return a.triple < b.triple;
                        });
       group.clear();
-      for (const auto& [t, a] : pairs) group.push(t, a);
+      if (has_lo) {
+        for (const auto& c : sample) group.push(c.triple, c.accuracy,
+                                                c.log_odds);
+      } else {
+        for (const auto& c : sample) group.push(c.triple, c.accuracy);
+      }
       KF_DCHECK(group.sorted());
     }
 
@@ -266,9 +366,49 @@ void FusionEngine::StageI(size_t round, FusionResult* result) {
   std::fill(result->from_fallback.begin(), result->from_fallback.end(), 0);
   const double theta = options_.min_provenance_accuracy;
   const bool prefer_evaluated = options_.filter_by_coverage && round > 1;
-  ParallelFor(graph_.num_shards(), options_.num_workers, [&](size_t s) {
-    SweepShard(graph_.shard(s), theta, prefer_evaluated, result);
-  });
+
+  if (sweep_schedule_stale_) RebuildSweepSchedule();
+  // Freeze the per-round tables. Accuracies do not change during a Stage I
+  // sweep, so the scorer's per-claim log-odds term and the theta filter
+  // collapse to per-provenance lookups computed once per round — the inner
+  // claim loop runs without a single std::log call.
+  if (!scorer_->PrecomputeLogOdds(accuracy_, &log_odds_)) log_odds_.clear();
+  if (theta > 0.0) {
+    theta_pass_.resize(accuracy_.size());
+    for (size_t p = 0; p < accuracy_.size(); ++p) {
+      theta_pass_[p] = accuracy_[p] >= theta ? 1 : 0;
+    }
+  } else {
+    theta_pass_.clear();
+  }
+  // With no filter active every group survives assembly verbatim, so the
+  // sweep can score the shard columns in place — needs the table (or VOTE,
+  // which reads only triples) since the columns carry no accuracies.
+  const bool in_place =
+      !options_.filter_by_coverage && theta <= 0.0 &&
+      (!log_odds_.empty() || options_.method == Method::kVote);
+
+  // Tasks (not shards) are the scheduling unit: largest shards first, the
+  // small-shard tail batched (RebuildSweepSchedule), grain 1 so a free
+  // worker always takes exactly the next task. The schedule is fixed per
+  // graph, so results stay worker-independent; only wall-clock moves.
+  const size_t num_tasks = sweep_task_offsets_.size() - 1;
+  ParallelFor(
+      num_tasks, options_.num_workers,
+      [&](size_t task) {
+        for (uint32_t k = sweep_task_offsets_[task];
+             k < sweep_task_offsets_[task + 1]; ++k) {
+          const uint32_t s = sweep_order_[k];
+          const auto start = std::chrono::steady_clock::now();
+          SweepShard(graph_.shard(s), theta, prefer_evaluated, in_place,
+                     result);
+          shard_sweep_micros_[s] = static_cast<uint32_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
+      },
+      /*grain=*/1);
 }
 
 double FusionEngine::StageII(const FusionResult& result) {

@@ -109,12 +109,32 @@ class FusionEngine {
   const std::vector<uint32_t>& provenance_claims() const {
     return graph_.prov_claims();
   }
+  /// Wall-clock micros the last StageI spent sweeping each shard
+  /// (indexed by shard id; 0 before the first sweep). Shards are hash
+  /// partitions of the data items, so claim counts — and these times —
+  /// can be heavily skewed; the sweep schedule orders shards largest-
+  /// first so the skew costs wall-clock only once, and this vector makes
+  /// it observable.
+  const std::vector<uint32_t>& shard_sweep_micros() const {
+    return shard_sweep_micros_;
+  }
 
  private:
   void InitAccuracies(const std::vector<Label>* gold);
   FusionResult EmptyResult() const;
+  /// `score_in_place` requests the zero-copy path: item groups are scored
+  /// straight off the shard's columns (no ItemClaimsBuffer assembly).
+  /// Only valid when no filter is active (theta <= 0, no coverage
+  /// filter) and the scorer is table-driven or VOTE; oversized groups
+  /// (> sample_cap) still take the assembly path for reservoir sampling.
   void SweepShard(const ClaimGraph::Shard& shard, double theta,
-                  bool prefer_evaluated, FusionResult* result) const;
+                  bool prefer_evaluated, bool score_in_place,
+                  FusionResult* result) const;
+  /// Rebuilds the Stage I sweep schedule: shards ordered largest-first
+  /// (by claim count) and grouped into tasks of at least
+  /// kMinSweepClaimsPerTask claims, so scheduling granularity follows
+  /// claims instead of shard count. Deterministic and worker-independent.
+  void RebuildSweepSchedule();
 
   const extract::ExtractionDataset& dataset_;
   FusionOptions options_;
@@ -124,6 +144,20 @@ class FusionEngine {
   std::vector<double> accuracy_;
   /// Whether the provenance's accuracy is data-driven (vs. still default).
   std::vector<uint8_t> evaluated_;
+
+  // ---- per-round Stage I tables (accuracies are frozen during a sweep) --
+  /// Per provenance: the scorer's frozen per-claim log-odds term (empty
+  /// when the scorer has none, i.e. VOTE).
+  std::vector<double> log_odds_;
+  /// Per provenance: accuracy_[p] >= theta, precomputed when theta > 0
+  /// (empty otherwise) so the filter is a byte test per claim.
+  std::vector<uint8_t> theta_pass_;
+
+  // ---- Stage I sweep schedule (skew-aware, rebuilt on graph change) ----
+  std::vector<uint32_t> sweep_order_;         // shard ids, most claims first
+  std::vector<uint32_t> sweep_task_offsets_;  // CSR into sweep_order_
+  std::vector<uint32_t> shard_sweep_micros_;  // by shard id, last sweep
+  bool sweep_schedule_stale_ = true;
 };
 
 /// Convenience wrapper: construct + run.

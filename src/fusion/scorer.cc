@@ -12,6 +12,10 @@ void ItemClaimsBuffer::SortByTriple() {
   std::vector<double> accuracy_scratch;
   ApplyPermutation(perm, triple_.data(), &triple_scratch);
   ApplyPermutation(perm, accuracy_.data(), &accuracy_scratch);
+  if (has_log_odds()) {
+    std::vector<double> log_odds_scratch;
+    ApplyPermutation(perm, log_odds_.data(), &log_odds_scratch);
+  }
   sorted_ = true;
 }
 

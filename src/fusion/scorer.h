@@ -33,11 +33,31 @@ namespace kf::fusion {
 /// `sorted` is the run-length guarantee: claims are in nondecreasing
 /// TripleId order, so equal triples form contiguous runs. Scorer::Score
 /// requires it; views over claim-graph shards carry it for free.
+///
+/// Table-driven log-odds (the Stage I inner loop): accuracies are frozen
+/// during a sweep, so the engine precomputes each provenance's per-claim
+/// log-odds term once per round (Scorer::PrecomputeLogOdds) instead of
+/// paying a std::log per claim. A view can carry that table in one of two
+/// ways, checked in order by the scorers:
+/// - `prov` + `prov_log_odds`: claim i's term is prov_log_odds[prov[i]].
+///   This is the zero-copy form — Stage I points `triple`/`prov` straight
+///   into a shard's columns when no filter is active, skipping the
+///   ItemClaimsBuffer re-assembly entirely (`accuracy` may be null; only
+///   scorers that declare a log-odds table may be driven this way, plus
+///   VOTE, which reads nothing but `triple`).
+/// - `log_odds`: a per-claim column parallel to `triple`, gathered by the
+///   buffer path while filtering.
+/// With neither set, scorers fall back to computing the log from
+/// `accuracy` per claim (hand-built buffers, tests, external callers).
 struct ItemClaims {
   const kb::TripleId* triple = nullptr;
   const double* accuracy = nullptr;
   size_t count = 0;
   bool sorted = false;
+
+  const double* log_odds = nullptr;       // per-claim frozen log-odds
+  const uint32_t* prov = nullptr;         // per-claim provenance ids
+  const double* prov_log_odds = nullptr;  // per-provenance log-odds table
 
   size_t size() const { return count; }
 };
@@ -54,29 +74,58 @@ class ItemClaimsBuffer {
   void clear() {
     triple_.clear();
     accuracy_.clear();
+    log_odds_.clear();
     sorted_ = true;
+    has_log_odds_ = true;
   }
   void push(kb::TripleId t, double a) {
     if (!triple_.empty() && triple_.back() > t) sorted_ = false;
     triple_.push_back(t);
     accuracy_.push_back(a);
+    // A push without a log-odds term invalidates the column for this
+    // assembly (scorers fall back to computing logs from accuracies).
+    has_log_odds_ = false;
+    log_odds_.clear();
+  }
+  /// Push with the provenance's frozen log-odds term (the engine's
+  /// table-driven path). All pushes of one assembly must carry it for the
+  /// view to expose the column.
+  void push(kb::TripleId t, double a, double lo) {
+    if (!has_log_odds_) {
+      push(t, a);
+      return;
+    }
+    if (!triple_.empty() && triple_.back() > t) sorted_ = false;
+    triple_.push_back(t);
+    accuracy_.push_back(a);
+    log_odds_.push_back(lo);
   }
   size_t size() const { return triple_.size(); }
   const std::vector<kb::TripleId>& triples() const { return triple_; }
   const std::vector<double>& accuracies() const { return accuracy_; }
+  const std::vector<double>& log_odds() const { return log_odds_; }
+  bool has_log_odds() const { return has_log_odds_ && !triple_.empty(); }
   /// Whether the pushes so far arrived in nondecreasing triple order.
   bool sorted() const { return sorted_; }
   /// Stable-sorts the claims by triple (no-op when already sorted):
   /// equal triples keep their relative push order.
   void SortByTriple();
   ItemClaims view() const {
-    return {triple_.data(), accuracy_.data(), size(), sorted_};
+    ItemClaims v;
+    v.triple = triple_.data();
+    v.accuracy = accuracy_.data();
+    v.count = size();
+    v.sorted = sorted_;
+    if (has_log_odds()) v.log_odds = log_odds_.data();
+    return v;
   }
 
  private:
   std::vector<kb::TripleId> triple_;
   std::vector<double> accuracy_;
+  std::vector<double> log_odds_;
   bool sorted_ = true;
+  bool has_log_odds_ = true;
 };
 
 /// Output: (triple, probability) for each distinct triple in the group.
@@ -93,6 +142,21 @@ class Scorer {
   /// ascending triple order — one linear sweep over the sorted runs, no
   /// allocations beyond `out` growth.
   virtual void Score(const ItemClaims& claims, TripleProbs* out) const = 0;
+
+  /// Fills out[p] with the scorer's per-claim additive log-odds term for
+  /// a provenance of accuracy `accuracy[p]` and returns true, or returns
+  /// false when the scorer has no such term (VOTE). The engine calls this
+  /// once per Stage I round — accuracies are frozen during a sweep — and
+  /// hands the table back through ItemClaims::{log_odds,prov_log_odds},
+  /// turning the inner loop's std::log per claim into a table read. The
+  /// precomputed term is the exact expression Score() would evaluate, so
+  /// table-driven sums are bit-identical to the inline ones.
+  virtual bool PrecomputeLogOdds(const std::vector<double>& accuracy,
+                                 std::vector<double>* out) const {
+    (void)accuracy;
+    (void)out;
+    return false;
+  }
 };
 
 /// VOTE (Section 4.1): p(T) = m/n where the data item has n claims and m of
@@ -111,6 +175,9 @@ class AccuScorer : public Scorer {
       : n_false_values_(n_false_values) {}
 
   void Score(const ItemClaims& claims, TripleProbs* out) const override;
+  /// ln(N * a / (1 - a)) per provenance.
+  bool PrecomputeLogOdds(const std::vector<double>& accuracy,
+                         std::vector<double>* out) const override;
 
  private:
   double n_false_values_;
@@ -122,6 +189,9 @@ class AccuScorer : public Scorer {
 class PopAccuScorer : public Scorer {
  public:
   void Score(const ItemClaims& claims, TripleProbs* out) const override;
+  /// ln(a / (1 - a)) per provenance.
+  bool PrecomputeLogOdds(const std::vector<double>& accuracy,
+                         std::vector<double>* out) const override;
 };
 
 }  // namespace kf::fusion

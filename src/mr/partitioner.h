@@ -49,9 +49,10 @@ inline std::vector<uint32_t> CsrOffsets(const std::vector<uint32_t>& counts) {
 }
 
 /// Runs `fn(shard, &outputs)` for every shard on up to `num_workers`
-/// threads and concatenates the per-shard outputs in shard order. Each
-/// shard's output vector is private to its invocation, so the concatenated
-/// result is identical for any worker count.
+/// threads (the persistent global pool — common/threadpool.h) and
+/// concatenates the per-shard outputs in shard order. Each shard's output
+/// vector is private to its invocation, so the concatenated result is
+/// identical for any worker count.
 template <typename O, typename Fn>
 std::vector<O> ReduceShards(size_t num_shards, size_t num_workers, Fn&& fn) {
   std::vector<std::vector<O>> per_shard(num_shards);

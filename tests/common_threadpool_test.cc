@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 
 namespace kf {
 namespace {
@@ -71,6 +75,87 @@ TEST_P(ParallelForSweep, SumMatchesAnyThreadCount) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelForSweep,
                          ::testing::Values(1, 2, 3, 8, 24, 64));
+
+TEST(ParallelForTest, ExplicitGrainCoversAllIndices) {
+  for (size_t grain : {1, 7, 100, 5000}) {
+    std::vector<std::atomic<int>> hits(1234);
+    ParallelFor(
+        1234, 8, [&](size_t i) { hits[i].fetch_add(1); }, grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+// The no-per-call-spawn proof: consecutive ParallelFor calls are served by
+// the same persistent global-pool threads. The thread-id set may only
+// shrink-or-match across calls (a worker can sit out a short call), and
+// the process-wide creation counter must stay flat.
+TEST(ParallelForTest, ReusesGlobalPoolThreads) {
+  ThreadPool::Global();  // force creation before sampling the counter
+  const size_t created_before = ThreadPool::TotalThreadsCreated();
+
+  auto observe_ids = [] {
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    // Enough slow-ish iterations that every participating thread grabs at
+    // least one chunk.
+    ParallelFor(
+        10000, 8,
+        [&](size_t) {
+          std::lock_guard<std::mutex> lock(mu);
+          ids.insert(std::this_thread::get_id());
+        },
+        /*grain=*/16);
+    return ids;
+  };
+
+  std::set<std::thread::id> all_ids;
+  for (int call = 0; call < 4; ++call) {
+    const auto ids = observe_ids();
+    all_ids.insert(ids.begin(), ids.end());
+  }
+  // Every id seen across four calls is either this thread (the caller
+  // participates) or one of the pool's persistent workers — at most
+  // pool-size + 1 distinct ids total, not per call.
+  EXPECT_LE(all_ids.size(), ThreadPool::Global().num_threads() + 1);
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created_before);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesSequential) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(100, 1,
+                           [&](size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                             ran.fetch_add(1);
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);  // sequential path stops at the throw
+}
+
+TEST(ParallelForTest, ExceptionPropagatesParallel) {
+  EXPECT_THROW(ParallelFor(10000, 8,
+                           [&](size_t i) {
+                             if (i == 4242) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The pool survives and subsequent calls work normally.
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(1000, 8, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000ull * 999ull / 2);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  // A body calling ParallelFor again must not deadlock the pool; the inner
+  // loop runs inline on whichever thread entered it.
+  std::vector<std::atomic<int>> hits(64 * 64);
+  ParallelFor(64, 8, [&](size_t outer) {
+    const std::thread::id outer_id = std::this_thread::get_id();
+    ParallelFor(64, 8, [&](size_t inner) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_id);
+      hits[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
 
 }  // namespace
 }  // namespace kf

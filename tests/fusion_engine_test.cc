@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "eval/gold_standard.h"
 #include "synth/corpus.h"
 
@@ -167,6 +168,41 @@ TEST(EngineTest, SampleCapKeepsRunning) {
     EXPECT_GE(result.probability[t], 0.0);
     EXPECT_LE(result.probability[t], 1.0);
   }
+}
+
+// Multi-worker fusion must run entirely on the persistent global pool:
+// the process-wide thread-creation counter stays flat across rounds, Run()
+// calls, and engines. (~60 rounds of multi-worker POPACCU = ~120
+// ParallelFor calls; the historical spawn-per-call design would create
+// hundreds of threads here.)
+TEST(EngineTest, PoolThreadsPersistAcrossRunsAndEngines) {
+  static const synth::SynthCorpus& corpus = *new synth::SynthCorpus(
+      synth::GenerateCorpus(synth::SynthConfig::Small()));
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.num_workers = 8;
+  opts.num_shards = 8;
+
+  FusionEngine engine(corpus.dataset, opts);
+  engine.Run();  // warm up: forces the lazy global pool into existence
+  const size_t created_before = ThreadPool::TotalThreadsCreated();
+
+  engine.Run();
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created_before);
+
+  FusionEngine second(corpus.dataset, opts);
+  second.Run();
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created_before);
+}
+
+TEST(EngineTest, ShardSweepMicrosCoversEveryShard) {
+  static const synth::SynthCorpus& corpus = *new synth::SynthCorpus(
+      synth::GenerateCorpus(synth::SynthConfig::Small()));
+  FusionOptions opts = FusionOptions::PopAccu();
+  opts.num_shards = 8;
+  FusionEngine engine(corpus.dataset, opts);
+  EXPECT_TRUE(engine.shard_sweep_micros().empty());  // no sweep yet
+  engine.Run();
+  EXPECT_EQ(engine.shard_sweep_micros().size(), engine.graph().num_shards());
 }
 
 // Granularity sweep on a real corpus: engine must produce valid
