@@ -19,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-BENCH_TARGETS=(bench_perf bench_kb_server)
+BENCH_TARGETS=(bench_perf bench_kb_server bench_store)
 
 build_type() {
   sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" \
@@ -69,6 +69,14 @@ if [[ "${1:-}" == "--smoke" ]]; then
       --benchmark_filter='BM_KbServerQps/real_time/threads:(1|4)$|BM_KbServerPublish|BM_KbServerSnapshotLookup' \
       --benchmark_min_time=0.01 "$@"
   fi
+  if [[ -x "${BUILD_DIR}/bench/bench_store" ]]; then
+    # The fused-KB import pair is enough to keep the storage benches from
+    # rotting; the corpus loads re-parse scale-1 TSV and are too slow for
+    # a smoke pass.
+    "${BUILD_DIR}/bench/bench_store" \
+      --benchmark_filter='BM_FusedKbImport(Tsv|Bin)' \
+      --benchmark_min_time=0.01 "$@"
+  fi
   exit 0
 fi
 
@@ -82,22 +90,24 @@ fi
 
 "${BUILD_DIR}/bench/bench_perf" --benchmark_format=console \
   --benchmark_out=BENCH_perf.json --benchmark_out_format=json "$@"
-if [[ -x "${BUILD_DIR}/bench/bench_kb_server" ]]; then
-  "${BUILD_DIR}/bench/bench_kb_server" --benchmark_format=console \
-    --benchmark_out=BENCH_kb_server.json --benchmark_out_format=json "$@"
-  # Merge the serving benches into the one baseline file.
-  python3 - <<'PY'
-import json
+# Merge the serving + storage benches into the one baseline file.
+for extra in bench_kb_server bench_store; do
+  if [[ -x "${BUILD_DIR}/bench/${extra}" ]]; then
+    "${BUILD_DIR}/bench/${extra}" --benchmark_format=console \
+      --benchmark_out="BENCH_${extra}.json" --benchmark_out_format=json "$@"
+    EXTRA_JSON="BENCH_${extra}.json" python3 - <<'PY'
+import json, os
 with open('BENCH_perf.json') as f:
     perf = json.load(f)
-with open('BENCH_kb_server.json') as f:
-    serve = json.load(f)
-perf['benchmarks'].extend(serve['benchmarks'])
+with open(os.environ['EXTRA_JSON']) as f:
+    extra = json.load(f)
+perf['benchmarks'].extend(extra['benchmarks'])
 with open('BENCH_perf.json', 'w') as f:
     json.dump(perf, f, indent=1)
 PY
-  rm -f BENCH_kb_server.json
-fi
+    rm -f "BENCH_${extra}.json"
+  fi
+done
 echo "recorded BENCH_perf.json" >&2
 echo "compare against a previous baseline with:" >&2
 echo "  scripts/bench_compare.py <old.json> BENCH_perf.json" >&2

@@ -20,9 +20,10 @@ must never serve as a baseline.
 
 Benchmarks that report a throughput counter (items_per_second — e.g. the
 BM_KbServerQps serving series, where per-iteration time is a poor proxy
-for multi-threaded QPS) are additionally gated on throughput: a drop of
-more than --threshold percent fails even when per-iteration time looks
-flat.
+for multi-threaded QPS — or bytes_per_second, the headline metric of the
+bench_store load/save series) are additionally gated on throughput: a
+drop of more than --threshold percent fails even when per-iteration time
+looks flat.
 
 Scaling-curve families (BM_ScalingCurve*/W, where W is the worker count)
 are additionally gated on parallel efficiency
@@ -57,7 +58,8 @@ def load(path):
     for name, entries in reps.items():
         merged = dict(entries[0])
         if len(entries) > 1:
-            for metric in ("real_time", "cpu_time", "items_per_second"):
+            for metric in ("real_time", "cpu_time", "items_per_second",
+                           "bytes_per_second"):
                 vals = [e[metric] for e in entries if metric in e]
                 if vals:
                     merged[metric] = sum(vals) / len(vals)
@@ -160,15 +162,18 @@ def main():
               f"{delta:>+7.1f}%")
         if delta > args.threshold:
             regressions.append((name, delta))
-        # Throughput gate: items/sec shrinking is a regression even when
-        # per-iteration time stays flat (multi-threaded QPS benches).
-        oi, ni = o.get("items_per_second"), n.get("items_per_second")
-        if oi and ni is not None:
-            tdelta = (ni - oi) / oi * 100.0
-            if tdelta < -args.threshold:
-                print(f"{name + ' [items/sec]':<{width}}  "
-                      f"{oi:>11.4g}/s  {ni:>11.4g}/s  {tdelta:>+7.1f}%")
-                regressions.append((name + " [items/sec]", -tdelta))
+        # Throughput gates: items/sec (multi-threaded QPS benches) or
+        # bytes/sec (the bench_store MB/s series) shrinking is a
+        # regression even when per-iteration time stays flat.
+        for metric, label in (("items_per_second", "items/sec"),
+                              ("bytes_per_second", "MB/s")):
+            om, nm = o.get(metric), n.get(metric)
+            if om and nm is not None:
+                tdelta = (nm - om) / om * 100.0
+                if tdelta < -args.threshold:
+                    print(f"{name + ' [' + label + ']':<{width}}  "
+                          f"{om:>11.4g}/s  {nm:>11.4g}/s  {tdelta:>+7.1f}%")
+                    regressions.append((f"{name} [{label}]", -tdelta))
 
     # Parallel-efficiency gate over the scaling-curve families.
     old_effs = scaling_efficiencies(old_runs, args.metric)

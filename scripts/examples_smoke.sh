@@ -14,7 +14,8 @@ BUILD_DIR="${BUILD_DIR:-build}"
 TSV=examples/data/demo_extractions.tsv
 OUT="$(mktemp)"
 KB="$(mktemp)"
-trap 'rm -f "${OUT}" "${KB}"' EXIT
+BIN="$(mktemp -u).kfs"
+trap 'rm -f "${OUT}" "${OUT}.bin" "${KB}" "${BIN}" "${BIN}.trunc"' EXIT
 
 for target in example_quickstart example_fuse_tsv example_query_kb \
               example_serve_kb; do
@@ -75,6 +76,45 @@ set +e
 code=$?
 set -e
 [[ "${code}" -eq 2 ]]
+
+echo "== fuse_tsv (--save-bin then --load-bin reproduces the fusion) ==" >&2
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=popaccu \
+  --save-bin="${BIN}" > "${OUT}"
+grep -q $'TomCruise\tbirth_date\t1962-07-03' "${OUT}"
+[[ -s "${BIN}" ]]
+"${BUILD_DIR}/examples/example_fuse_tsv" --load-bin="${BIN}" \
+  --method=popaccu > "${OUT}.bin"
+# The binary reload must fuse to byte-identical output.
+cmp "${OUT}" "${OUT}.bin"
+rm -f "${OUT}.bin"
+
+echo "== fuse_tsv (missing/corrupt --load-bin exits 2 with usage) ==" >&2
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" --load-bin=/nonexistent/c.kfs \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "cannot load binary corpus" "${OUT}"
+grep -q "usage: fuse_tsv" "${OUT}"
+# Truncate the saved image mid-file: the checksummed format must refuse
+# it cleanly (exit 2 + usage), never crash or half-load.
+head -c 100 "${BIN}" > "${BIN}.trunc"
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" --load-bin="${BIN}.trunc" \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "cannot load binary corpus" "${OUT}"
+# --load-bin and INPUT.tsv together is a contradiction, also exit 2.
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --load-bin="${BIN}" \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+rm -f "${BIN}" "${BIN}.trunc"
 
 echo "== query_kb (Lookup/Explain/TopK + export-import round-trip) ==" >&2
 "${BUILD_DIR}/examples/example_query_kb" "${TSV}" > "${OUT}"

@@ -1,0 +1,58 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace kf {
+namespace {
+
+/// Four reflected lookup tables for slice-by-4, built once at startup.
+/// table[0] is the classic byte-at-a-time table; table[k][b] extends a
+/// CRC by byte b followed by k zero bytes.
+struct Crc32Tables {
+  uint32_t t[4][256];
+
+  Crc32Tables() {
+    constexpr uint32_t kPoly = 0xedb88320u;  // reflected 0x04C11DB7
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const Crc32Tables& tab = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tab.t[3][crc & 0xffu] ^ tab.t[2][(crc >> 8) & 0xffu] ^
+          tab.t[1][(crc >> 16) & 0xffu] ^ tab.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace kf

@@ -1,0 +1,24 @@
+// CRC-32 (the IEEE 802.3 polynomial, as in zlib/gzip): the integrity
+// check stamped on every block of the kf::store on-disk format. Software
+// slice-by-4 implementation — fast enough that checksumming is a small
+// fraction of a binary load, with zero dependencies.
+#ifndef KF_COMMON_CHECKSUM_H_
+#define KF_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kf {
+
+/// CRC-32 of `data`. `seed` chains partial checksums: pass the previous
+/// return value to continue a running CRC over split buffers.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace kf
+
+#endif  // KF_COMMON_CHECKSUM_H_

@@ -26,6 +26,10 @@ class StringInterner {
   StringInterner& operator=(StringInterner&&) = default;
 
   /// Returns the id for `s`, interning it if new.
+  /// Pre-sizes the hash index for a bulk load of `n` strings. (The
+  /// deque pool needs no reservation — its references are stable.)
+  void Reserve(size_t n) { index_.reserve(n); }
+
   uint32_t Intern(std::string_view s) {
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;

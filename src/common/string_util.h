@@ -3,6 +3,7 @@
 #ifndef KF_COMMON_STRING_UTIL_H_
 #define KF_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,21 @@ std::string StrFormat(const char* fmt, ...)
 
 /// Renders `value` with `digits` digits after the decimal point.
 std::string ToFixed(double value, int digits);
+
+// Allocation-free numeric appends for serialization hot loops: format
+// into a stack buffer (std::to_chars where the library provides it for
+// doubles, snprintf otherwise) and append to `out` — no per-call
+// temporary std::string.
+
+/// Appends `value` in %.17g form — 17 significant digits round-trip any
+/// finite double bit-exactly through strtod.
+void AppendDouble17(std::string* out, double value);
+
+/// Appends `value` with `digits` digits after the decimal point.
+void AppendFixed(std::string* out, double value, int digits);
+
+/// Appends `value` in decimal.
+void AppendU32(std::string* out, uint32_t value);
 
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);

@@ -1,0 +1,87 @@
+// LEB128 varints and delta-packed non-decreasing sequences — the packed
+// integer encodings of the kf::store on-disk format. Header-only: the
+// encoder appends to a std::string, the decoder walks a [p, end) byte
+// range and reports malformed input by returning nullptr (never by
+// reading past `end`).
+#ifndef KF_COMMON_VARINT_H_
+#define KF_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kf {
+
+/// Appends `v` as a little-endian base-128 varint (1-10 bytes).
+inline void AppendVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [p, end). Returns the first byte past the
+/// varint, or nullptr when the input is truncated or longer than 10
+/// bytes (an overlong/corrupt encoding).
+inline const char* ParseVarint64(const char* p, const char* end,
+                                 uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // ran off the buffer or >10 continuation bytes
+}
+
+/// Appends a non-decreasing sequence as first-value + deltas, all
+/// varint-packed. The caller must pass a genuinely non-decreasing
+/// sequence (CSR offset arrays, sorted id lists); decoding rejects
+/// nothing the encoder can produce.
+template <typename It>
+void AppendDeltaVarints(std::string* out, It begin, It end) {
+  uint64_t prev = 0;
+  for (It it = begin; it != end; ++it) {
+    const uint64_t v = static_cast<uint64_t>(*it);
+    AppendVarint64(out, v - prev);
+    prev = v;
+  }
+}
+
+/// Decodes `count` delta-packed values into `out[0..count)` (the inverse
+/// of AppendDeltaVarints). Returns the first unread byte, or nullptr on
+/// truncated input or a value overflowing OutT.
+template <typename OutT>
+const char* ParseDeltaVarints(const char* p, const char* end, size_t count,
+                              OutT* out) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    p = ParseVarint64(p, end, &delta);
+    if (p == nullptr) return nullptr;
+    prev += delta;
+    if (prev > static_cast<uint64_t>(static_cast<OutT>(-1))) return nullptr;
+    out[i] = static_cast<OutT>(prev);
+  }
+  return p;
+}
+
+/// Zigzag maps signed to unsigned so small-magnitude deltas of either
+/// sign stay short varints.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace kf
+
+#endif  // KF_COMMON_VARINT_H_

@@ -40,6 +40,12 @@ struct TripleInfo {
   /// Not an exact truth but hierarchy-compatible with one (more specific or
   /// more general value), i.e. actually correct under Section 5.4.
   bool hierarchy_true = false;
+
+  friend bool operator==(const TripleInfo& a, const TripleInfo& b) {
+    return a.item == b.item && a.object == b.object &&
+           a.true_in_world == b.true_in_world &&
+           a.hierarchy_true == b.hierarchy_true;
+  }
 };
 
 /// One extraction event: extractor X extracted `triple` from URL Y.
@@ -49,6 +55,13 @@ struct ExtractionRecord {
   float confidence = 0.0f;
   bool has_confidence = false;
   ErrorClass error = ErrorClass::kNone;
+
+  friend bool operator==(const ExtractionRecord& a,
+                         const ExtractionRecord& b) {
+    return a.triple == b.triple && a.prov == b.prov &&
+           a.confidence == b.confidence &&
+           a.has_confidence == b.has_confidence && a.error == b.error;
+  }
 };
 
 /// Static description of one extractor (name + content type), mirroring the
@@ -63,6 +76,13 @@ struct ExtractorMeta {
   /// Extractors sharing an entity-linkage component make common linkage
   /// errors even across content types.
   int linkage_group = -1;
+
+  friend bool operator==(const ExtractorMeta& a, const ExtractorMeta& b) {
+    return a.name == b.name && a.content == b.content &&
+           a.has_confidence == b.has_confidence &&
+           a.framework_group == b.framework_group &&
+           a.linkage_group == b.linkage_group;
+  }
 };
 
 /// The fully interned fusion input plus the side tables needed to project
@@ -76,6 +96,17 @@ class ExtractionDataset {
   ExtractionDataset& operator=(ExtractionDataset&&) = default;
 
   // -- construction (used by the corpus generator and TSV loader) --
+
+  /// Pre-sizes the item/triple/record storage (vectors and hash
+  /// indexes) for a bulk load of known counts — e.g. the binary corpus
+  /// reader, which knows every column length up front.
+  void Reserve(size_t num_items, size_t num_triples, size_t num_records) {
+    items_.reserve(num_items);
+    item_index_.reserve(num_items);
+    triples_.reserve(num_triples);
+    triple_index_.reserve(num_triples);
+    records_.reserve(num_records);
+  }
 
   kb::DataItemId InternItem(const kb::DataItem& item);
 

@@ -38,6 +38,12 @@ struct Provenance {
   SiteId site = 0;
   PatternId pattern = 0;
   kb::PredicateId predicate = 0;
+
+  friend bool operator==(const Provenance& a, const Provenance& b) {
+    return a.extractor == b.extractor && a.url == b.url &&
+           a.site == b.site && a.pattern == b.pattern &&
+           a.predicate == b.predicate;
+  }
 };
 
 /// Which provenance fields form the pseudo-source identity.

@@ -8,20 +8,28 @@
 namespace kf::extract {
 namespace {
 
+// Pattern strings share the extractors interner (they become prov.pattern
+// ids), so the meta table must track the interner: extend it until
+// index == interner id, keeping dataset.extractors()[prov.extractor] valid
+// for every record even when pattern interns interleave with extractor ones.
+void AlignExtractorMetas(const TsvCorpus& corpus,
+                         std::vector<ExtractorMeta>* metas) {
+  for (uint32_t i = static_cast<uint32_t>(metas->size());
+       i < corpus.extractors.size(); ++i) {
+    ExtractorMeta meta;
+    meta.name = corpus.extractors.Get(i);
+    meta.has_confidence = false;
+    metas->push_back(std::move(meta));
+  }
+}
+
 // Registers the extractor on first sight, so ids stay dense.
 ExtractorId InternExtractor(TsvCorpus* corpus,
                             std::vector<ExtractorMeta>* metas,
                             const std::string& name, bool has_confidence) {
-  uint32_t existing = corpus->extractors.Find(name);
-  if (existing != StringInterner::kInvalidId) {
-    if (has_confidence) (*metas)[existing].has_confidence = true;
-    return existing;
-  }
   uint32_t id = corpus->extractors.Intern(name);
-  ExtractorMeta meta;
-  meta.name = name;
-  meta.has_confidence = has_confidence;
-  metas->push_back(meta);
+  AlignExtractorMetas(*corpus, metas);
+  if (has_confidence) (*metas)[id].has_confidence = true;
   return id;
 }
 
@@ -87,6 +95,9 @@ Result<TsvCorpus> ReadExtractionsTsv(const std::string& text) {
     }
     url_site[record.prov.url] = record.prov.site;
   }
+  // A trailing pattern intern can leave the meta table short; align once
+  // more so metas.size() == the extractors interner size.
+  AlignExtractorMetas(corpus, &metas);
   corpus.dataset.SetExtractors(std::move(metas));
   corpus.dataset.SetUrlSites(std::move(url_site));
   corpus.dataset.SetCounts(corpus.sites.size(), corpus.extractors.size(),
@@ -97,7 +108,13 @@ Result<TsvCorpus> ReadExtractionsTsv(const std::string& text) {
 Result<TsvCorpus> ReadExtractionsTsvFile(const std::string& path) {
   Result<std::string> text = ReadFile(path);
   if (!text.ok()) return text.status();
-  return ReadExtractionsTsv(*text);
+  Result<TsvCorpus> corpus = ReadExtractionsTsv(*text);
+  if (!corpus.ok()) {
+    // Parse errors carry a 1-based line number; add the file they name.
+    return Status(corpus.status().code(),
+                  path + ": " + corpus.status().message());
+  }
+  return corpus;
 }
 
 std::string WriteExtractionsTsv(const TsvCorpus& corpus) {
@@ -115,7 +132,7 @@ std::string WriteExtractionsTsv(const TsvCorpus& corpus) {
     out += '\t';
     out += corpus.urls.Get(r.prov.url);
     out += '\t';
-    if (r.has_confidence) out += ToFixed(r.confidence, 4);
+    if (r.has_confidence) AppendFixed(&out, r.confidence, 4);
     out += '\n';
   }
   return out;
@@ -135,7 +152,7 @@ std::string WriteResultsTsv(const TsvCorpus& corpus,
     out += '\t';
     out += corpus.objects.Get(corpus.values.Get(info.object).string_id);
     out += '\t';
-    out += ToFixed(probability[t], 6);
+    AppendFixed(&out, probability[t], 6);
     out += '\n';
   }
   return out;
@@ -170,9 +187,7 @@ Result<std::string> ReadFile(const std::string& path) {
 namespace {
 
 /// %.17g round-trips every finite double bit-exactly through strtod.
-void AppendDouble(std::string* out, double v) {
-  *out += StrFormat("%.17g", v);
-}
+void AppendDouble(std::string* out, double v) { AppendDouble17(out, v); }
 
 bool ParseDoubleStrict(const std::string& s, double* out) {
   if (s.empty()) return false;
@@ -213,7 +228,7 @@ std::string WriteFusedKbTsv(const FusedKbTsv& kb) {
     out += '\t';
     AppendDouble(&out, p.accuracy);
     out += p.evaluated ? "\t1\t" : "\t0\t";
-    out += StrFormat("%u", p.num_claims);
+    AppendU32(&out, p.num_claims);
     out += '\n';
   }
   for (const FusedKbTripleRow& t : kb.triples) {
@@ -232,7 +247,7 @@ std::string WriteFusedKbTsv(const FusedKbTsv& kb) {
     out += t.winner ? "\t1\t" : "\t0\t";
     for (size_t i = 0; i < t.supporters.size(); ++i) {
       if (i > 0) out += ',';
-      out += StrFormat("%u", t.supporters[i]);
+      AppendU32(&out, t.supporters[i]);
     }
     out += '\n';
   }

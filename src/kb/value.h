@@ -64,6 +64,12 @@ class ValueTable {
   ValueTable(ValueTable&&) = default;
   ValueTable& operator=(ValueTable&&) = default;
 
+  /// Pre-sizes for a bulk load of `n` values.
+  void Reserve(size_t n) {
+    values_.reserve(n);
+    index_.reserve(n);
+  }
+
   ValueId Intern(const Value& v);
 
   /// Returns the id of `v`, or kInvalidId when never interned.

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "eval/calibration.h"
 #include "kb/value.h"
+#include "store/store.h"
 
 namespace kf {
 namespace {
@@ -402,7 +403,7 @@ std::vector<KbVerdict> FusedKB::AboveThreshold(double min_probability) const {
   return out;
 }
 
-std::string FusedKB::ToTsv() const {
+extract::FusedKbTsv FusedKB::ToRows() const {
   extract::FusedKbTsv tsv;
   tsv.method = method_;
   tsv.num_rounds = num_rounds_;
@@ -423,18 +424,18 @@ std::string FusedKB::ToTsv() const {
     row.supporters = supporters(t);
     tsv.triples.push_back(std::move(row));
   }
-  return extract::WriteFusedKbTsv(tsv);
+  return tsv;
+}
+
+std::string FusedKB::ToTsv() const {
+  return extract::WriteFusedKbTsv(ToRows());
 }
 
 Status FusedKB::ExportTsv(const std::string& path) const {
   return extract::WriteFile(path, ToTsv());
 }
 
-Result<FusedKB> FusedKB::FromTsv(const std::string& text) {
-  Result<extract::FusedKbTsv> parsed = extract::ReadFusedKbTsv(text);
-  if (!parsed.ok()) return parsed.status();
-  const extract::FusedKbTsv& tsv = *parsed;
-
+Result<FusedKB> FusedKB::FromRows(const extract::FusedKbTsv& tsv) {
   FusedKB kb;
   kb.method_ = tsv.method;
   kb.num_rounds_ = tsv.num_rounds;
@@ -499,10 +500,41 @@ Result<FusedKB> FusedKB::FromTsv(const std::string& text) {
   return kb;
 }
 
+Result<FusedKB> FusedKB::FromTsv(const std::string& text) {
+  Result<extract::FusedKbTsv> parsed = extract::ReadFusedKbTsv(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromRows(*parsed);
+}
+
 Result<FusedKB> FusedKB::ImportTsv(const std::string& path) {
   Result<std::string> text = extract::ReadFile(path);
   if (!text.ok()) return text.status();
-  return FromTsv(*text);
+  Result<FusedKB> kb = FromTsv(*text);
+  if (!kb.ok()) {
+    // Parse errors carry a 1-based line number; add the file they name.
+    return Status(kb.status().code(), path + ": " + kb.status().message());
+  }
+  return kb;
+}
+
+std::string FusedKB::ToBinary() const {
+  return store::WriteFusedKb(ToRows());
+}
+
+Status FusedKB::ExportBinary(const std::string& path) const {
+  return extract::WriteFile(path, ToBinary());
+}
+
+Result<FusedKB> FusedKB::FromBinary(std::string_view bytes) {
+  Result<extract::FusedKbTsv> rows = store::LoadFusedKb(bytes);
+  if (!rows.ok()) return rows.status();
+  return FromRows(*rows);
+}
+
+Result<FusedKB> FusedKB::ImportBinary(const std::string& path) {
+  Result<extract::FusedKbTsv> rows = store::LoadFusedKbFile(path);
+  if (!rows.ok()) return rows.status();
+  return FromRows(*rows);
 }
 
 bool operator==(const FusedKB& a, const FusedKB& b) {

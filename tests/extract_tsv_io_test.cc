@@ -100,6 +100,35 @@ TEST(TsvIoTest, MissingFileIsIOError) {
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
 
+TEST(TsvIoTest, FileParseErrorsNameFileAndLine) {
+  // Row 3 (1-based) is short; the error must say which file and line.
+  std::string path = ::testing::TempDir() + "/kf_tsv_io_badrow.tsv";
+  ASSERT_TRUE(WriteFile(path,
+                        "s\tp\to\te\tu\t0.5\n"
+                        "# comment\n"
+                        "only\ttwo\n")
+                  .ok());
+  auto result = ReadExtractionsTsvFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(path), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(TsvIoTest, FileBadConfidenceNamesFileAndLine) {
+  std::string path = ::testing::TempDir() + "/kf_tsv_io_badconf.tsv";
+  ASSERT_TRUE(WriteFile(path, "s\tp\to\te\tu\t7.5\n").ok());
+  auto result = ReadExtractionsTsvFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
 // ---- the fused-KB schema ----
 
 FusedKbTsv SampleKb() {

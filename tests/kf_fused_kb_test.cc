@@ -320,6 +320,38 @@ TEST(FusedKbTest, ExportImportThroughAFileRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(FusedKbTest, BinaryExportImportRoundTripsToAnEqualKb) {
+  Session session = Session::Borrow(SmallCorpus().dataset);
+  ASSERT_TRUE(session.Fuse(fusion::FusionOptions::PopAccu()).ok());
+  Result<FusedKB> kb = session.Snapshot({}, &SmallLabels());
+  ASSERT_TRUE(kb.ok());
+
+  // In-memory: ToBinary/FromBinary is an identity, and agrees with TSV.
+  Result<FusedKB> via_bin = FusedKB::FromBinary(kb->ToBinary());
+  ASSERT_TRUE(via_bin.ok()) << via_bin.status().ToString();
+  EXPECT_TRUE(*via_bin == *kb);
+
+  // On disk, and noticeably smaller than the TSV.
+  std::string path = testing::TempDir() + "/fused_kb_roundtrip.kfs";
+  ASSERT_TRUE(kb->ExportBinary(path).ok());
+  Result<FusedKB> back = FusedKB::ImportBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == *kb);
+  EXPECT_LT(kb->ToBinary().size(), kb->ToTsv().size());
+  std::remove(path.c_str());
+}
+
+TEST(FusedKbTest, ImportTsvErrorsNameTheFile) {
+  std::string path = testing::TempDir() + "/fused_kb_malformed.tsv";
+  ASSERT_TRUE(extract::WriteFile(path, "M\tvote\tnot_a_number\n").ok());
+  Result<FusedKB> kb = FusedKB::ImportTsv(path);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_NE(kb.status().message().find(path), std::string::npos)
+      << kb.status().message();
+  EXPECT_NE(kb.status().message().find("line 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(FusedKbTest, ImportRejectsMalformedTsv) {
   // Not the fused-KB schema at all.
   EXPECT_FALSE(FusedKB::FromTsv("subject\tpredicate\n").ok());
