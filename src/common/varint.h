@@ -59,13 +59,17 @@ void AppendDeltaVarints(std::string* out, It begin, It end) {
 template <typename OutT>
 const char* ParseDeltaVarints(const char* p, const char* end, size_t count,
                               OutT* out) {
+  const uint64_t max = static_cast<uint64_t>(static_cast<OutT>(-1));
   uint64_t prev = 0;
   for (size_t i = 0; i < count; ++i) {
     uint64_t delta = 0;
     p = ParseVarint64(p, end, &delta);
     if (p == nullptr) return nullptr;
+    // Checked before adding: a delta near 2^64 would wrap `prev` back
+    // under the OutT limit, turning a "non-decreasing" sequence into a
+    // decreasing one. prev <= max holds on entry, so max - prev is safe.
+    if (delta > max - prev) return nullptr;
     prev += delta;
-    if (prev > static_cast<uint64_t>(static_cast<OutT>(-1))) return nullptr;
     out[i] = static_cast<OutT>(prev);
   }
   return p;

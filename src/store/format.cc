@@ -217,10 +217,14 @@ Result<Span<const uint32_t>> BlockFile::StringOffsets(BlockId id) const {
   if (static_cast<Encoding>(entry->encoding) != Encoding::kStrings) {
     return BadBlock(id, "expected a string block");
   }
-  const uint64_t table = (entry->rows + 1) * sizeof(uint32_t);
-  if (entry->size < table) {
+  // Overflow-safe sizing: rows + 1 u32 offsets must fit in the payload.
+  // rows < size/4 also keeps the (rows + 1) * 4 below from wrapping, so
+  // `table` provably lands inside the payload.
+  if (entry->size < sizeof(uint32_t) ||
+      entry->rows >= entry->size / sizeof(uint32_t)) {
     return BadBlock(id, "string offset table truncated");
   }
+  const uint64_t table = (entry->rows + 1) * sizeof(uint32_t);
   const char* p = file_.data() + entry->offset;
   Span<const uint32_t> offsets{reinterpret_cast<const uint32_t*>(p),
                                static_cast<size_t>(entry->rows) + 1};
@@ -238,10 +242,15 @@ Result<Span<const uint32_t>> BlockFile::StringOffsets(BlockId id) const {
 Result<std::string_view> BlockFile::StringBytes(BlockId id) const {
   const BlockEntry* entry = Find(id);
   if (entry == nullptr) return MissingBlock(id);
-  const uint64_t table = (entry->rows + 1) * sizeof(uint32_t);
-  if (entry->size < table) {
+  if (static_cast<Encoding>(entry->encoding) != Encoding::kStrings) {
+    return BadBlock(id, "expected a string block");
+  }
+  // Same overflow-safe sizing as StringOffsets.
+  if (entry->size < sizeof(uint32_t) ||
+      entry->rows >= entry->size / sizeof(uint32_t)) {
     return BadBlock(id, "string offset table truncated");
   }
+  const uint64_t table = (entry->rows + 1) * sizeof(uint32_t);
   return file_.substr(entry->offset + table, entry->size - table);
 }
 
@@ -251,6 +260,11 @@ Status BlockFile::DecodeDeltaVarint(BlockId id,
   if (entry == nullptr) return MissingBlock(id);
   if (static_cast<Encoding>(entry->encoding) != Encoding::kDeltaVarint) {
     return BadBlock(id, "expected a delta-varint block");
+  }
+  // Every varint is at least one byte, so rows > size is corrupt — and
+  // this bounds the assign() below by the actual payload length.
+  if (entry->rows > entry->size) {
+    return BadBlock(id, "row count exceeds the payload size");
   }
   std::string_view payload = Payload(*entry);
   out->assign(static_cast<size_t>(entry->rows), 0);
@@ -271,8 +285,19 @@ Status BlockFile::DecodeVarintLists(BlockId id,
   if (static_cast<Encoding>(entry->encoding) != Encoding::kVarintList) {
     return BadBlock(id, "expected a varint-list block");
   }
+  if (entry->rows > entry->size) {
+    return BadBlock(id, "row count exceeds the payload size");
+  }
   if (offsets.empty() || offsets.back() != entry->rows) {
     return BadBlock(id, "span offsets disagree with the list length");
+  }
+  // Every offset below is a write index into `out` (and the span bounds
+  // callers slice with), so re-verify monotonicity here rather than
+  // trusting the caller: monotone + back() == rows bounds them all.
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return BadBlock(id, "span offsets are not non-decreasing");
+    }
   }
   std::string_view payload = Payload(*entry);
   out->assign(static_cast<size_t>(entry->rows), 0);

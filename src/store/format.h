@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/checksum.h"
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace kf::store {
@@ -219,6 +220,9 @@ class BlockBuilder {
     for (size_t i = 0; i < rows; ++i) {
       std::string_view s = get(i);
       bytes.append(s.data(), s.size());
+      // The u32 offset table caps one string block at 4 GiB of bytes;
+      // abort rather than serialize silently truncated offsets.
+      KF_CHECK(bytes.size() <= 0xffffffffull);
       offsets.push_back(static_cast<uint32_t>(bytes.size()));
     }
     block.append(reinterpret_cast<const char*>(offsets.data()),
@@ -268,8 +272,11 @@ class BlockFile {
   Result<Span<const T>> Column(BlockId id) const {
     const BlockEntry* entry = Find(id);
     if (entry == nullptr) return MissingBlock(id);
+    // Divide instead of multiplying rows * sizeof(T): a huge rows value
+    // must fail this check, not wrap uint64 into a matching product.
     if (static_cast<Encoding>(entry->encoding) != Encoding::kRaw ||
-        entry->size != entry->rows * sizeof(T)) {
+        entry->size % sizeof(T) != 0 ||
+        entry->size / sizeof(T) != entry->rows) {
       return BadBlock(id, "unexpected encoding or element width");
     }
     const char* p = file_.data() + entry->offset;

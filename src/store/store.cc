@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/interner.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "kb/value.h"
 
@@ -747,6 +748,9 @@ std::string WriteFusedKb(const extract::FusedKbTsv& kb) {
                                       (row.winner ? 4 : 0));
       supporters.insert(supporters.end(), row.supporters.begin(),
                         row.supporters.end());
+      // The CSR offsets are u32 on disk; abort on overflow rather than
+      // serialize a silently wrapped supporter list.
+      KF_CHECK(supporters.size() <= 0xffffffffull);
       offsets.push_back(static_cast<uint32_t>(supporters.size()));
     }
     auto add_dict = [&builder](BlockId id, const StringInterner& interner) {

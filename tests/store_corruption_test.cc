@@ -51,6 +51,21 @@ std::string PatchBlock(std::string bytes, BlockId id,
   return bytes;
 }
 
+/// Rewrites the TOC `rows` of block `id` (payload untouched) and
+/// re-stamps the TOC CRC, so only row-count validation can object.
+std::string PatchTocRows(std::string bytes, BlockId id, uint64_t rows) {
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry* toc = reinterpret_cast<BlockEntry*>(&bytes[header.toc_offset]);
+  for (uint32_t i = 0; i < header.toc_count; ++i) {
+    if (toc[i].id == static_cast<uint32_t>(id)) toc[i].rows = rows;
+  }
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  return bytes;
+}
+
 void ExpectCleanFailure(const std::string& bytes) {
   auto result = LoadCorpus(bytes);
   EXPECT_FALSE(result.ok());
@@ -230,6 +245,38 @@ TEST(StoreCorruptionTest, MissingBlockIsRejected) {
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("missing block"),
             std::string::npos);
+}
+
+TEST(StoreCorruptionTest, DictRowCountOverflowIsRejected) {
+  // Huge dictionary row counts make the u32 offset-table sizing wrap
+  // (2^62 - 1 wraps (rows + 1) * 4 to 0; UINT64_MAX wraps rows + 1) —
+  // each once produced a ~2^62-entry "offset table" scanned far past the
+  // mapping. Both must be rejected by the sizing check instead.
+  for (const uint64_t rows : {(1ull << 62) - 1, ~0ull}) {
+    std::string bytes =
+        PatchTocRows(ValidCorpusImage(), BlockId::kDictUrls, rows);
+    auto result = LoadCorpus(bytes);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("offset table"),
+              std::string::npos);
+  }
+}
+
+TEST(StoreCorruptionTest, SupportOffsetRowInflationIsRejected) {
+  extract::FusedKbTsv kb;
+  kb.method = "vote";
+  kb.provenances.resize(1);
+  kb.provenances[0] = {"a", 0.5, false, 1};
+  kb.triples.resize(1);
+  kb.triples[0] = {"s", "p", "o", 0.5, 0.5, true, false, true, {0}};
+  // An inflated delta-varint row count is caught by the rows-vs-payload
+  // bound, not by attempting a 2^62-entry allocation.
+  std::string bytes = PatchTocRows(WriteFusedKb(kb),
+                                   BlockId::kKbSupportOffsets, 1ull << 62);
+  auto result = LoadFusedKb(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(StoreCorruptionTest, FusedKbSupporterOutOfRangeIsRejected) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,19 @@ TEST(VarintTest, DeltaRoundTripAndOverflowCheck) {
   uint32_t out[2];
   EXPECT_EQ(ParseDeltaVarints(big.data(), big.data() + big.size(), 2, out),
             nullptr);
+
+  // A delta near 2^64 wraps the running sum back under the output limit,
+  // faking a "non-decreasing" sequence that decreases — must be rejected
+  // before the addition, for narrow and full-width outputs alike.
+  std::string wrap;
+  AppendVarint64(&wrap, 1);
+  AppendVarint64(&wrap, ~0ull);  // 1 + (2^64 - 1) wraps to 0
+  EXPECT_EQ(ParseDeltaVarints(wrap.data(), wrap.data() + wrap.size(), 2, out),
+            nullptr);
+  uint64_t wide[2];
+  EXPECT_EQ(
+      ParseDeltaVarints(wrap.data(), wrap.data() + wrap.size(), 2, wide),
+      nullptr);
 }
 
 TEST(VarintTest, ZigzagIsAnInvolution) {
@@ -194,6 +208,96 @@ TEST(BlockFileTest, VarintListRoundTripsUnsortedSpans) {
       file->DecodeVarintLists(BlockId::kKbSupporters, off_back, &val_back)
           .ok());
   EXPECT_EQ(val_back, values);
+}
+
+/// Rewrites the `rows` of the first TOC entry (payload bytes untouched)
+/// and re-stamps the TOC CRC, so only row-count validation can object.
+std::string PatchFirstTocRows(std::string bytes, uint64_t rows) {
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry entry;
+  std::memcpy(&entry, &bytes[header.toc_offset], sizeof(entry));
+  entry.rows = rows;
+  std::memcpy(&bytes[header.toc_offset], &entry, sizeof(entry));
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  return bytes;
+}
+
+TEST(BlockFileTest, StringRowCountOverflowIsRejected) {
+  BlockBuilder builder;
+  builder.AddStrings(BlockId::kDictSubjects, 2,
+                     [](size_t i) -> std::string_view {
+                       return i == 0 ? "a" : "bc";
+                     });
+  const std::string bytes = builder.Finish(ContentKind::kCorpus);
+  // rows = 2^62 - 1 wraps the (rows + 1) * 4 table sizing to 0 and
+  // rows = UINT64_MAX wraps rows + 1 itself; both must fail the sizing
+  // check instead of scanning a ~2^62-entry "offset table".
+  for (const uint64_t rows : {(1ull << 62) - 1, ~0ull}) {
+    const std::string patched = PatchFirstTocRows(bytes, rows);
+    auto file = BlockFile::Parse(patched, ContentKind::kCorpus);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    EXPECT_FALSE(file->StringOffsets(BlockId::kDictSubjects).ok());
+    EXPECT_FALSE(file->StringBytes(BlockId::kDictSubjects).ok());
+  }
+}
+
+TEST(BlockFileTest, ColumnRowCountOverflowIsRejected) {
+  BlockBuilder builder;
+  const std::vector<double> probs = {0.25, 0.5};
+  builder.AddColumn(BlockId::kKbProbability, probs);
+  std::string bytes = builder.Finish(ContentKind::kFusedKb);
+  // rows = 2^61 with sizeof(double) = 8 wraps rows * 8 to 0; paired with
+  // a zero-size payload the old multiply-based check matched. The
+  // division-based check must reject it.
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry entry;
+  std::memcpy(&entry, &bytes[header.toc_offset], sizeof(entry));
+  entry.rows = 1ull << 61;
+  entry.size = 0;
+  entry.crc32 = Crc32("", 0);
+  std::memcpy(&bytes[header.toc_offset], &entry, sizeof(entry));
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+
+  auto file = BlockFile::Parse(bytes, ContentKind::kFusedKb);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_FALSE(file->Column<double>(BlockId::kKbProbability).ok());
+}
+
+TEST(BlockFileTest, DeltaVarintRowInflationIsRejected) {
+  BlockBuilder builder;
+  builder.AddDeltaVarint(BlockId::kKbSupportOffsets, {0, 1, 4});
+  const std::string bytes = PatchFirstTocRows(
+      builder.Finish(ContentKind::kFusedKb), 1ull << 62);
+  auto file = BlockFile::Parse(bytes, ContentKind::kFusedKb);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  // Caught by the rows-vs-payload bound before the 2^62-entry assign.
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(
+      file->DecodeDeltaVarint(BlockId::kKbSupportOffsets, &out).ok());
+}
+
+TEST(BlockFileTest, VarintListNonMonotoneOffsetsAreRejected) {
+  BlockBuilder builder;
+  const std::vector<uint32_t> offsets = {0, 2, 3};
+  const std::vector<uint32_t> values = {7, 9, 1};
+  builder.AddDeltaVarint(BlockId::kKbSupportOffsets, offsets);
+  builder.AddVarintLists(BlockId::kKbSupporters, offsets, values);
+  const std::string bytes = builder.Finish(ContentKind::kFusedKb);
+  auto file = BlockFile::Parse(bytes, ContentKind::kFusedKb);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  // A decreasing span table whose back() still equals the row count
+  // would index the output vector out of bounds — rejected up front.
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(
+      file->DecodeVarintLists(BlockId::kKbSupporters, {0, 5, 3}, &out).ok());
+  EXPECT_FALSE(
+      file->DecodeVarintLists(BlockId::kKbSupporters, {3, 0, 3}, &out).ok());
 }
 
 TEST(BlockFileTest, ContentKindMismatchIsRejected) {
