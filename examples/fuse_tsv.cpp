@@ -7,6 +7,7 @@
 //              [--workers=N] [--shards=N]
 //              [--min-prob=P] [--export=KB.tsv]
 //              [--save-bin=CORPUS.kfs] [--load-bin=CORPUS.kfs]
+//              [--memory-budget=MB] [--spill-dir=PATH]
 //
 // Input columns: subject predicate object extractor url [confidence]
 // Output columns: subject predicate object probability
@@ -22,6 +23,12 @@
 // re-importable fused-KB schema (FusedKB::ExportTsv). Both need an
 // engine method (vote / accu / popaccu), which retains the state the
 // snapshot is built from.
+//
+// --memory-budget=MB runs fusion out-of-core under a resident-column
+// budget of MB mebibytes (engine methods only): cold claim-graph shards
+// spill to mmap-backed kf::store files and the output is bit-identical
+// to the unbudgeted run. --spill-dir=PATH puts the shard files there
+// instead of a fresh temp directory.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +64,7 @@ void Usage() {
                "                [--min-prob=P] [--export=KB.tsv]\n"
                "                [--save-bin=CORPUS.kfs] "
                "[--load-bin=CORPUS.kfs]\n"
+               "                [--memory-budget=MB] [--spill-dir=PATH]\n"
                "methods: %s\n",
                fusion::Registry::NamesCsv().c_str());
 }
@@ -73,7 +81,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     // These accept both "--flag=value" and "--flag value".
     if (arg == "--export" || arg == "--min-prob" || arg == "--save-bin" ||
-        arg == "--load-bin") {
+        arg == "--load-bin" || arg == "--memory-budget" ||
+        arg == "--spill-dir") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
         Usage();
@@ -104,6 +113,33 @@ int main(int argc, char** argv) {
       load_bin = arg.substr(11);
       if (load_bin.empty()) {
         std::fprintf(stderr, "error: --load-bin expects a path\n");
+        Usage();
+        return 2;
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--memory-budget=")) {
+      const char* begin = arg.c_str() + 16;
+      char* end = nullptr;
+      // Same digit-first guard as --workers: strtoull wraps negatives.
+      unsigned long long mb = std::strtoull(begin, &end, 10);
+      if (end == begin || *end != '\0' ||
+          !(begin[0] >= '0' && begin[0] <= '9') || mb == 0 ||
+          mb > (1ull << 34)) {
+        std::fprintf(stderr,
+                     "error: --memory-budget expects a positive size in "
+                     "MiB, got '%s'\n",
+                     begin);
+        Usage();
+        return 2;
+      }
+      options.memory_budget_bytes = static_cast<size_t>(mb) << 20;
+      continue;
+    }
+    if (StartsWith(arg, "--spill-dir=")) {
+      options.spill_dir = arg.substr(12);
+      if (options.spill_dir.empty()) {
+        std::fprintf(stderr, "error: --spill-dir expects a path\n");
         Usage();
         return 2;
       }

@@ -62,7 +62,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
   # so perf binaries cannot rot in CI; min_time is tiny because only
   # liveness matters here.
   "${BUILD_DIR}/bench/bench_perf" \
-    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|ScorerOnly|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK|ScalingCurve)' \
+    --benchmark_filter='BM_(ClaimGraphBuild|StageISweep|StageIISweep|ScorerOnly|IncrementalAppend|BuildClaims|RefuseAfterAppend1|SessionSnapshot|FusedKbLookup|FusedKbTopK|ScalingCurve|OutOfCore)' \
     --benchmark_min_time=0.01 "$@"
   if [[ -x "${BUILD_DIR}/bench/bench_kb_server" ]]; then
     "${BUILD_DIR}/bench/bench_kb_server" \

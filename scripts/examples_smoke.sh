@@ -15,7 +15,8 @@ TSV=examples/data/demo_extractions.tsv
 OUT="$(mktemp)"
 KB="$(mktemp)"
 BIN="$(mktemp -u).kfs"
-trap 'rm -f "${OUT}" "${OUT}.bin" "${KB}" "${BIN}" "${BIN}.trunc"' EXIT
+trap 'rm -f "${OUT}" "${OUT}.bin" "${OUT}.budget" "${KB}" "${BIN}" \
+  "${BIN}.trunc"; rm -rf "${SPILL_DIR:-}"' EXIT
 
 for target in example_quickstart example_fuse_tsv example_query_kb \
               example_serve_kb; do
@@ -115,6 +116,53 @@ code=$?
 set -e
 [[ "${code}" -eq 2 ]]
 rm -f "${BIN}" "${BIN}.trunc"
+
+echo "== fuse_tsv (--memory-budget output is byte-identical) ==" >&2
+SPILL_DIR="$(mktemp -d)"
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=popaccu \
+  > "${OUT}"
+# A 1 MiB budget forces the demo through the out-of-core path (spill
+# files written to --spill-dir); the fused output must not change by a
+# byte, and the shard files must be cleaned up with the session.
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=popaccu \
+  --memory-budget=1 --spill-dir="${SPILL_DIR}" > "${OUT}.budget"
+cmp "${OUT}" "${OUT}.budget"
+if ls "${SPILL_DIR}"/shard-*.kfs > /dev/null 2>&1; then
+  echo "spill files leaked in ${SPILL_DIR}" >&2
+  exit 1
+fi
+rm -rf "${SPILL_DIR}" "${OUT}.budget"
+
+echo "== fuse_tsv (bad --memory-budget / --spill-dir exit 2) ==" >&2
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --memory-budget=zero \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "usage: fuse_tsv" "${OUT}"
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --memory-budget=0 \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+# --spill-dir without a budget is rejected by options validation.
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --spill-dir=/tmp/x \
+  2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "spill_dir is set but memory_budget_bytes is 0" "${OUT}"
+# Budgeted runs need an engine method: baselines cannot spill.
+set +e
+"${BUILD_DIR}/examples/example_fuse_tsv" "${TSV}" --method=truthfinder \
+  --memory-budget=1 2> "${OUT}"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]]
+grep -q "cannot run out-of-core" "${OUT}"
 
 echo "== query_kb (Lookup/Explain/TopK + export-import round-trip) ==" >&2
 "${BUILD_DIR}/examples/example_query_kb" "${TSV}" > "${OUT}"

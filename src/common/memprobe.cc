@@ -1,0 +1,66 @@
+#include "common/memprobe.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kf {
+namespace {
+
+/// Reads a "kB" field (e.g. "VmRSS:     1234 kB") from /proc/self/status.
+/// Returns 0 when the file or the field is unavailable.
+size_t ReadStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    unsigned long long value = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+      kb = static_cast<size_t>(value);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadStatusKb("VmRSS") * 1024; }
+
+size_t PeakRssBytes() { return ReadStatusKb("VmHWM") * 1024; }
+
+bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  // "5" resets the peak-RSS watermark (Documentation/filesystems/proc.rst).
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+PeakRssTracker::PeakRssTracker() {
+  hwm_reset_ok_ = ResetPeakRss();
+  Sample();
+}
+
+void PeakRssTracker::Sample() {
+  const size_t now = CurrentRssBytes();
+  if (now > sampled_peak_) sampled_peak_ = now;
+}
+
+size_t PeakRssTracker::PeakBytes() const {
+  if (hwm_reset_ok_) {
+    // The kernel saw every page, including ones touched between Sample()
+    // calls; prefer it whenever the reset took.
+    const size_t hwm = PeakRssBytes();
+    if (hwm > 0) return hwm;
+  }
+  return sampled_peak_;
+}
+
+}  // namespace kf

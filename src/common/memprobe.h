@@ -1,0 +1,49 @@
+// Process-memory probes for the out-of-core fusion budget: current and
+// peak resident-set size read from /proc/self/status, plus a best-effort
+// reset of the kernel's RSS high-water mark so a phase (e.g. the budgeted
+// round loop) can measure its own peak instead of the process-lifetime
+// one. Linux-only; on other systems (or a locked-down /proc) the probes
+// return 0 / false and callers fall back to sampling CurrentRssBytes().
+#ifndef KF_COMMON_MEMPROBE_H_
+#define KF_COMMON_MEMPROBE_H_
+
+#include <cstddef>
+
+namespace kf {
+
+/// Resident-set size of this process in bytes (VmRSS); 0 when the probe
+/// is unavailable.
+size_t CurrentRssBytes();
+
+/// High-water resident-set size in bytes (VmHWM) since process start or
+/// the last successful ResetPeakRss(); 0 when unavailable.
+size_t PeakRssBytes();
+
+/// Resets the kernel's RSS high-water mark (writes "5" to
+/// /proc/self/clear_refs). Returns false when unsupported, in which case
+/// PeakRssBytes() keeps reporting the process-lifetime peak and callers
+/// should sample CurrentRssBytes() around the phase instead.
+bool ResetPeakRss();
+
+/// Tracks a phase's peak memory with whichever probe works: prefers the
+/// kernel high-water (reset on construction), else keeps the max of
+/// explicit Sample() calls. Values are bytes; 0 when no probe works.
+class PeakRssTracker {
+ public:
+  PeakRssTracker();
+
+  /// Records the current RSS (the fallback path; cheap, call at phase
+  /// boundaries such as after each spill subset).
+  void Sample();
+
+  /// The phase's peak RSS so far.
+  size_t PeakBytes() const;
+
+ private:
+  bool hwm_reset_ok_ = false;
+  size_t sampled_peak_ = 0;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_MEMPROBE_H_

@@ -48,7 +48,8 @@ size_t ClaimGraph::Update(const extract::ExtractionDataset& dataset,
   }
   num_records_indexed_ = n;
 
-  std::vector<uint32_t> dirty_shards;
+  std::vector<uint32_t>& dirty_shards = last_rebuilt_shards_;
+  dirty_shards.clear();
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (dirty[s]) dirty_shards.push_back(static_cast<uint32_t>(s));
   }
@@ -71,6 +72,12 @@ size_t ClaimGraph::Update(const extract::ExtractionDataset& dataset,
 
 void ClaimGraph::RebuildShard(const extract::ExtractionDataset& dataset,
                               Shard* shard) {
+  // A rebuild re-derives every spillable column from the (always
+  // resident) record list, so a spilled dirty shard simply comes back
+  // resident — no disk read. The spill layer learns about it through
+  // last_rebuilt_shards() and invalidates the stale file.
+  shard->residency = ShardResidency::kResident;
+  shard->mapped = ShardColumns{};
   // Re-deduplicate the shard's full record list: first-seen order for both
   // (prov, triple) pairs and items, exactly as a full build would see them.
   std::unordered_map<uint64_t, uint32_t> pair_index;  // (prov, triple)
@@ -183,6 +190,45 @@ void ClaimGraph::RebuildShard(const extract::ExtractionDataset& dataset,
   shard->prov_offsets.push_back(static_cast<uint32_t>(num_claims));
 }
 
+void ClaimGraph::ReleaseShardColumns(size_t s) {
+  Shard& sh = shards_[s];
+  KF_CHECK(sh.residency == ShardResidency::kResident);
+  ShardColumns counts;
+  counts.num_items = static_cast<uint32_t>(sh.items.size());
+  counts.num_claims = static_cast<uint32_t>(sh.claim_triple.size());
+  // shrink-to-fit via swap: clear() alone keeps the capacity allocated,
+  // which is exactly the memory the eviction is supposed to give back.
+  std::vector<kb::DataItemId>().swap(sh.items);
+  std::vector<uint32_t>().swap(sh.item_offsets);
+  std::vector<uint8_t>().swap(sh.item_multi);
+  std::vector<uint32_t>().swap(sh.item_distinct);
+  std::vector<kb::TripleId>().swap(sh.claim_triple);
+  std::vector<uint32_t>().swap(sh.claim_prov);
+  std::vector<float>().swap(sh.claim_confidence);
+  std::vector<kb::TripleId>().swap(sh.prov_triples);
+  sh.mapped = counts;  // pointers null: kEvicted keeps only the counts
+  sh.residency = ShardResidency::kEvicted;
+}
+
+void ClaimGraph::AttachShardColumns(size_t s, const ShardColumns& view) {
+  Shard& sh = shards_[s];
+  KF_CHECK(sh.residency == ShardResidency::kEvicted);
+  KF_CHECK(view.num_items == sh.mapped.num_items &&
+           view.num_claims == sh.mapped.num_claims);
+  sh.mapped = view;
+  sh.residency = ShardResidency::kMapped;
+}
+
+void ClaimGraph::DetachShardColumns(size_t s) {
+  Shard& sh = shards_[s];
+  KF_CHECK(sh.residency == ShardResidency::kMapped);
+  ShardColumns counts;
+  counts.num_items = sh.mapped.num_items;
+  counts.num_claims = sh.mapped.num_claims;
+  sh.mapped = counts;
+  sh.residency = ShardResidency::kEvicted;
+}
+
 void ClaimGraph::AccumulateShardCounts(const Shard& shard, int sign) {
   for (size_t k = 0; k < shard.num_prov_segments(); ++k) {
     const uint32_t width = shard.prov_offsets[k + 1] - shard.prov_offsets[k];
@@ -223,7 +269,7 @@ void ClaimGraph::RebuildSegmentDirectory() {
     for (size_t k = 0; k < sh.num_prov_segments(); ++k) {
       prov_segments_[cursor[sh.prov_ids[k]]++] = ProvSegment{
           static_cast<uint32_t>(s), sh.prov_offsets[k],
-          sh.prov_offsets[k + 1]};
+          sh.prov_offsets[k + 1], sh.prov_ids[k]};
     }
   }
 }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "extract/dataset.h"
 #include "extract/provenance.h"
 #include "kb/ids.h"
@@ -31,6 +32,45 @@ namespace kf::fusion {
 /// FusionOptions::Validate (friendly Status) and by the ClaimGraph
 /// constructor (KF_CHECK, covering the baseline runners).
 inline constexpr size_t kMaxClaimGraphShards = size_t{1} << 20;
+
+/// Non-owning view of one shard's spillable columns — everything the
+/// sweeps read per claim/item. A resident shard serves the view off its
+/// own vectors; a spilled shard serves it off an external mapping (a
+/// kf::store shard file) attached by the spill layer. The counts stay
+/// valid even while the pointers are detached, so scheduling and spill
+/// planning never need the data pages.
+struct ShardColumns {
+  const kb::DataItemId* items = nullptr;
+  const uint32_t* item_offsets = nullptr;  // num_items + 1 entries
+  const uint8_t* item_multi = nullptr;
+  const uint32_t* item_distinct = nullptr;
+  const kb::TripleId* claim_triple = nullptr;
+  const uint32_t* claim_prov = nullptr;
+  const float* claim_confidence = nullptr;
+  const kb::TripleId* prov_triples = nullptr;
+  uint32_t num_items = 0;
+  uint32_t num_claims = 0;
+
+  /// Bytes these columns occupy when materialized — the unit of the
+  /// out-of-core memory budget. Computed from the counts, so it is
+  /// identical for the resident and the mapped form.
+  size_t SpillableBytes() const {
+    return static_cast<size_t>(num_items) *
+               (sizeof(kb::DataItemId) + sizeof(uint8_t) + sizeof(uint32_t)) +
+           static_cast<size_t>(num_items + 1) * sizeof(uint32_t) +
+           static_cast<size_t>(num_claims) *
+               (sizeof(kb::TripleId) * 2 + sizeof(uint32_t) + sizeof(float));
+  }
+};
+
+/// Where a shard's spillable columns currently live. Residency is driven
+/// by the spill layer (spill::ShardSpillManager); a graph that is never
+/// spilled stays kResident everywhere and pays nothing.
+enum class ShardResidency : uint8_t {
+  kResident = 0,  // owning vectors hold the columns
+  kMapped = 1,    // an external (mmap) view attached by the spill layer
+  kEvicted = 2,   // columns live only on disk; sweeps must not touch them
+};
 
 class ClaimGraph {
  public:
@@ -80,18 +120,67 @@ class ClaimGraph {
     std::vector<uint32_t> prov_offsets;
     std::vector<kb::TripleId> prov_triples;
 
-    size_t num_items() const { return items.size(); }
-    size_t num_claims() const { return claim_triple.size(); }
+    /// Residency of the spillable columns (items/item_* /claim_* /
+    /// prov_triples). `records`, `prov_ids`, and `prov_offsets` are
+    /// always resident: Update() re-deduplicates from `records`, and the
+    /// cross-index bookkeeping (AccumulateShardCounts,
+    /// RebuildSegmentDirectory) reads only the local prov CSR — so a
+    /// clean spilled shard survives an Update() of its neighbors without
+    /// touching disk.
+    ShardResidency residency = ShardResidency::kResident;
+    /// External column view when residency == kMapped. When kEvicted the
+    /// pointers are null but the counts remain valid (scheduling and
+    /// spill planning read them).
+    ShardColumns mapped;
+
+    size_t num_items() const {
+      return residency == ShardResidency::kResident ? items.size()
+                                                    : mapped.num_items;
+    }
+    size_t num_claims() const {
+      return residency == ShardResidency::kResident ? claim_triple.size()
+                                                    : mapped.num_claims;
+    }
     size_t num_prov_segments() const { return prov_ids.size(); }
+
+    /// The current column view (resident vectors or the attached
+    /// mapping). Checked: an evicted shard has no columns to read.
+    ShardColumns Columns() const {
+      if (residency == ShardResidency::kMapped) return mapped;
+      KF_CHECK(residency == ShardResidency::kResident);
+      ShardColumns c;
+      c.items = items.data();
+      c.item_offsets = item_offsets.data();
+      c.item_multi = item_multi.data();
+      c.item_distinct = item_distinct.data();
+      c.claim_triple = claim_triple.data();
+      c.claim_prov = claim_prov.data();
+      c.claim_confidence = claim_confidence.data();
+      c.prov_triples = prov_triples.data();
+      c.num_items = static_cast<uint32_t>(items.size());
+      c.num_claims = static_cast<uint32_t>(claim_triple.size());
+      return c;
+    }
+
+    /// Budget-accounting size of the spillable columns (resident or not).
+    size_t SpillableBytes() const {
+      ShardColumns c;
+      c.num_items = static_cast<uint32_t>(num_items());
+      c.num_claims = static_cast<uint32_t>(num_claims());
+      return c.SpillableBytes();
+    }
   };
 
   /// One provenance's claims within one shard: a span of
   /// shard(seg.shard).prov_triples. The global cross-index is the
-  /// concatenation of a provenance's segments in directory order.
+  /// concatenation of a provenance's segments in directory order. The
+  /// owning provenance rides along so per-segment sweeps (Stage II's
+  /// subset accumulation) never need a reverse lookup.
   struct ProvSegment {
     uint32_t shard = 0;
     uint32_t begin = 0;
     uint32_t end = 0;
+    uint32_t prov = 0;
   };
 
   ClaimGraph() = default;
@@ -122,6 +211,40 @@ class ClaimGraph {
     return partitioner_.ShardOf(item);
   }
 
+  // ---- residency control (driven by spill::ShardSpillManager) ----
+  // The graph stays file-unaware: the spill layer preserves the columns
+  // externally (kf::store shard files), releases the owning vectors, and
+  // attaches mmap-backed views when a shard is scheduled. Sweeps read
+  // whatever columns(s) serves, so resident and mapped shards take the
+  // same code path. Not thread-safe against concurrent sweeps; callers
+  // change residency only between sweeps.
+
+  ShardResidency shard_residency(size_t s) const {
+    return shards_[s].residency;
+  }
+  /// The shard's current column view (checked: not kEvicted).
+  ShardColumns columns(size_t s) const { return shards_[s].Columns(); }
+
+  /// kResident -> kEvicted: frees the owning spillable columns. The
+  /// caller must have preserved their contents externally first (via
+  /// columns(s)); metadata (records, prov_ids/prov_offsets, counts)
+  /// stays, so Update() and the directory still work.
+  void ReleaseShardColumns(size_t s);
+  /// kEvicted -> kMapped: serves reads from `view`, whose counts must
+  /// match the evicted columns (checked). The view's storage must outlive
+  /// the attachment (the spill layer holds the mapping).
+  void AttachShardColumns(size_t s, const ShardColumns& view);
+  /// kMapped -> kEvicted: stops reading the external view (the caller
+  /// may then unmap it).
+  void DetachShardColumns(size_t s);
+
+  /// Shards the last Update() rebuilt (empty for an empty append). A
+  /// rebuild always materializes the shard resident — the spill layer
+  /// uses this list to invalidate stale spill files and re-account.
+  const std::vector<uint32_t>& last_rebuilt_shards() const {
+    return last_rebuilt_shards_;
+  }
+
   // ---- provenance cross-index (Stage II sweeps) ----
   size_t num_provs() const { return prov_claims_.size(); }
   /// Claims per provenance.
@@ -145,7 +268,7 @@ class ClaimGraph {
     for (uint32_t s = prov_seg_offsets_[p]; s < prov_seg_offsets_[p + 1];
          ++s) {
       const ProvSegment& seg = prov_segments_[s];
-      const std::vector<kb::TripleId>& triples = shards_[seg.shard].prov_triples;
+      const kb::TripleId* triples = shards_[seg.shard].Columns().prov_triples;
       for (uint32_t i = seg.begin; i < seg.end; ++i) fn(triples[i]);
     }
   }
@@ -169,11 +292,11 @@ class ClaimGraph {
 
   template <typename Fn>
   static void ForEachClaimInShard(const Shard& sh, Fn&& fn) {
-    for (size_t g = 0; g < sh.num_items(); ++g) {
-      for (uint32_t i = sh.item_offsets[g]; i < sh.item_offsets[g + 1];
-           ++i) {
-        fn(sh.items[g], sh.claim_triple[i], sh.claim_prov[i],
-           sh.claim_confidence[i]);
+    const ShardColumns c = sh.Columns();
+    for (size_t g = 0; g < c.num_items; ++g) {
+      for (uint32_t i = c.item_offsets[g]; i < c.item_offsets[g + 1]; ++i) {
+        fn(c.items[g], c.claim_triple[i], c.claim_prov[i],
+           c.claim_confidence[i]);
       }
     }
   }
@@ -208,6 +331,7 @@ class ClaimGraph {
   /// before any record is indexed (empty dataset).
   std::vector<uint32_t> prov_seg_offsets_ = {0};
   std::vector<ProvSegment> prov_segments_;
+  std::vector<uint32_t> last_rebuilt_shards_;
 };
 
 }  // namespace kf::fusion

@@ -180,7 +180,7 @@ FusionResult FusionEngine::PrepareWarm() {
   return EmptyResult();
 }
 
-void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
+void FusionEngine::SweepShard(const ShardColumns& cols, double theta,
                               bool prefer_evaluated, bool score_in_place,
                               FusionResult* result) const {
   // Scratch state reused across the shard's item groups: steady-state
@@ -191,9 +191,9 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
   TripleProbs probs;
   const bool table = !log_odds_.empty();
 
-  for (size_t g = 0; g < shard.num_items(); ++g) {
-    const uint32_t begin = shard.item_offsets[g];
-    const uint32_t end = shard.item_offsets[g + 1];
+  for (size_t g = 0; g < cols.num_items; ++g) {
+    const uint32_t begin = cols.item_offsets[g];
+    const uint32_t end = cols.item_offsets[g + 1];
 
     // Zero-copy fast path: with no filter active every claim of the group
     // survives assembly verbatim, so score the shard's columns in place —
@@ -203,13 +203,13 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     // through to the assembly path.
     if (score_in_place && end - begin <= options_.sample_cap) {
       probs.clear();
-      probs.reserve(shard.item_distinct[g]);
+      probs.reserve(cols.item_distinct[g]);
       ItemClaims view;
-      view.triple = shard.claim_triple.data() + begin;
+      view.triple = cols.claim_triple + begin;
       view.count = end - begin;
       view.sorted = true;
       if (table) {
-        view.prov = shard.claim_prov.data() + begin;
+        view.prov = cols.claim_prov + begin;
         view.prov_log_odds = log_odds_.data();
       }
       scorer_->Score(view, &probs);
@@ -228,9 +228,9 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     // over round. Unqualified items are never predicted — the paper
     // reports 8.2% of triples losing their prediction this way.
     if (options_.filter_by_coverage) {
-      bool qualified = shard.item_multi[g] != 0;
+      bool qualified = cols.item_multi[g] != 0;
       for (uint32_t i = begin; !qualified && i < end; ++i) {
-        qualified = evaluated_[shard.claim_prov[i]] != 0;
+        qualified = evaluated_[cols.claim_prov[i]] != 0;
       }
       if (!qualified) continue;
     }
@@ -240,7 +240,7 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     bool use_evaluated_only = false;
     if (prefer_evaluated) {
       for (uint32_t i = begin; i < end; ++i) {
-        uint32_t p = shard.claim_prov[i];
+        uint32_t p = cols.claim_prov[i];
         if (evaluated_[p] && (theta <= 0.0 || theta_pass_[p])) {
           use_evaluated_only = true;
           break;
@@ -255,17 +255,17 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
     group.clear();
     if (table) {
       for (uint32_t i = begin; i < end; ++i) {
-        uint32_t p = shard.claim_prov[i];
+        uint32_t p = cols.claim_prov[i];
         if (theta > 0.0 && !theta_pass_[p]) continue;
         if (use_evaluated_only && !evaluated_[p]) continue;
-        group.push(shard.claim_triple[i], accuracy_[p], log_odds_[p]);
+        group.push(cols.claim_triple[i], accuracy_[p], log_odds_[p]);
       }
     } else {
       for (uint32_t i = begin; i < end; ++i) {
-        uint32_t p = shard.claim_prov[i];
+        uint32_t p = cols.claim_prov[i];
         if (theta > 0.0 && !theta_pass_[p]) continue;
         if (use_evaluated_only && !evaluated_[p]) continue;
-        group.push(shard.claim_triple[i], accuracy_[p]);
+        group.push(cols.claim_triple[i], accuracy_[p]);
       }
     }
 
@@ -281,9 +281,9 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
       if (theta <= 0.0) return;
       size_t k = 0;  // cursor into probs (ascending triples)
       for (uint32_t i = begin; i < end;) {
-        const kb::TripleId t = shard.claim_triple[i];
+        const kb::TripleId t = cols.claim_triple[i];
         uint32_t j = i + 1;
-        while (j < end && shard.claim_triple[j] == t) ++j;
+        while (j < end && cols.claim_triple[j] == t) ++j;
         while (k < probs.size() && probs[k].first < t) ++k;
         if (k < probs.size() && probs[k].first == t) {
           i = j;  // scored by the filtered group; no fallback needed
@@ -291,7 +291,7 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
         }
         double sum = 0.0;
         for (uint32_t c = i; c < j; ++c) {
-          sum += accuracy_[shard.claim_prov[c]];
+          sum += accuracy_[cols.claim_prov[c]];
         }
         result->probability[t] = sum / static_cast<double>(j - i);
         result->has_probability[t] = 1;
@@ -320,7 +320,7 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
         sample.push_back({group.triples()[i], group.accuracies()[i],
                           has_lo ? group.log_odds()[i] : 0.0});
       }
-      Rng rng(HashCombine(HashCombine(options_.seed, 0x51), shard.items[g]));
+      Rng rng(HashCombine(HashCombine(options_.seed, 0x51), cols.items[g]));
       mr::ReservoirSample(&sample, options_.sample_cap, &rng);
       // Stable-sort the sample in place (rather than SortByTriple on the
       // buffer) so this branch adds no allocations beyond `sample`; the
@@ -341,7 +341,7 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
 
     // One entry per distinct triple: reserving to the group's run count
     // keeps the scratch from reallocating even on the first large group.
-    probs.reserve(shard.item_distinct[g]);
+    probs.reserve(cols.item_distinct[g]);
     scorer_->Score(group.view(), &probs);
     // Each triple belongs to exactly one item group of one shard, so the
     // dense scatters below race with nothing.
@@ -354,7 +354,7 @@ void FusionEngine::SweepShard(const ClaimGraph::Shard& shard, double theta,
   }
 }
 
-void FusionEngine::StageI(size_t round, FusionResult* result) {
+void FusionEngine::BeginStageI(size_t round, FusionResult* result) {
   // The result must have been sized by Prepare() for the current dataset;
   // an append that interned new triples requires a fresh Prepare().
   KF_CHECK(result->probability.size() == dataset_.num_triples());
@@ -364,14 +364,13 @@ void FusionEngine::StageI(size_t round, FusionResult* result) {
   std::fill(result->has_probability.begin(), result->has_probability.end(),
             0);
   std::fill(result->from_fallback.begin(), result->from_fallback.end(), 0);
-  const double theta = options_.min_provenance_accuracy;
-  const bool prefer_evaluated = options_.filter_by_coverage && round > 1;
+  stage1_prefer_evaluated_ = options_.filter_by_coverage && round > 1;
 
-  if (sweep_schedule_stale_) RebuildSweepSchedule();
   // Freeze the per-round tables. Accuracies do not change during a Stage I
   // sweep, so the scorer's per-claim log-odds term and the theta filter
   // collapse to per-provenance lookups computed once per round — the inner
   // claim loop runs without a single std::log call.
+  const double theta = options_.min_provenance_accuracy;
   if (!scorer_->PrecomputeLogOdds(accuracy_, &log_odds_)) log_odds_.clear();
   if (theta > 0.0) {
     theta_pass_.resize(accuracy_.size());
@@ -384,9 +383,46 @@ void FusionEngine::StageI(size_t round, FusionResult* result) {
   // With no filter active every group survives assembly verbatim, so the
   // sweep can score the shard columns in place — needs the table (or VOTE,
   // which reads only triples) since the columns carry no accuracies.
-  const bool in_place =
+  stage1_in_place_ =
       !options_.filter_by_coverage && theta <= 0.0 &&
       (!log_odds_.empty() || options_.method == Method::kVote);
+}
+
+void FusionEngine::SweepStageI(const std::vector<uint32_t>& shard_ids,
+                               FusionResult* result) {
+  // Subset sweeps order their shards largest-first (stable, so equal
+  // sizes keep caller order) and schedule one shard per task: a spill
+  // subset is a handful of shards, so per-shard granularity beats the
+  // global schedule's claim-count batching. The decomposition never
+  // affects bits — Stage I writes disjoint per-triple slots.
+  std::vector<uint32_t> order = shard_ids;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return graph_.shard(a).num_claims() >
+                            graph_.shard(b).num_claims();
+                   });
+  const double theta = options_.min_provenance_accuracy;
+  ParallelFor(
+      order.size(), options_.num_workers,
+      [&](size_t k) {
+        const uint32_t s = order[k];
+        const auto start = std::chrono::steady_clock::now();
+        SweepShard(graph_.columns(s), theta, stage1_prefer_evaluated_,
+                   stage1_in_place_, result);
+        if (s < shard_sweep_micros_.size()) {
+          shard_sweep_micros_[s] = static_cast<uint32_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
+      },
+      /*grain=*/1);
+}
+
+void FusionEngine::StageI(size_t round, FusionResult* result) {
+  BeginStageI(round, result);
+  if (sweep_schedule_stale_) RebuildSweepSchedule();
+  const double theta = options_.min_provenance_accuracy;
 
   // Tasks (not shards) are the scheduling unit: largest shards first, the
   // small-shard tail batched (RebuildSweepSchedule), grain 1 so a free
@@ -400,8 +436,8 @@ void FusionEngine::StageI(size_t round, FusionResult* result) {
              k < sweep_task_offsets_[task + 1]; ++k) {
           const uint32_t s = sweep_order_[k];
           const auto start = std::chrono::steady_clock::now();
-          SweepShard(graph_.shard(s), theta, prefer_evaluated, in_place,
-                     result);
+          SweepShard(graph_.columns(s), theta, stage1_prefer_evaluated_,
+                     stage1_in_place_, result);
           shard_sweep_micros_[s] = static_cast<uint32_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - start)
@@ -418,13 +454,82 @@ double FusionEngine::StageII(const FusionResult& result) {
 
 double FusionEngine::StageII(const FusionResult& result, double damping,
                              double quantile) {
+  BeginStageII(result);
+  std::vector<uint32_t> all(graph_.num_shards());
+  for (size_t s = 0; s < all.size(); ++s) all[s] = static_cast<uint32_t>(s);
+  AccumulateStageII(all, result);
+  return FinishStageII(damping, quantile);
+}
+
+void FusionEngine::BeginStageII(const FusionResult& result) {
   // Same staleness guard as StageI: the cross-index may reference triples
   // interned after `result` was Prepared.
   KF_CHECK(result.probability.size() == dataset_.num_triples());
   KF_CHECK(accuracy_.size() == graph_.num_provs());
+  const size_t num_segments = graph_.prov_segments().size();
+  seg_sum_.assign(num_segments, 0.0);
+  seg_cnt_.assign(num_segments, 0);
+  seg_values_.assign(num_segments, {});
+}
+
+void FusionEngine::AccumulateStageII(const std::vector<uint32_t>& shard_ids,
+                                     const FusionResult& result) {
+  const std::vector<ClaimGraph::ProvSegment>& segments =
+      graph_.prov_segments();
+  KF_CHECK(seg_sum_.size() == segments.size());  // BeginStageII ran
+  std::vector<uint8_t> member(graph_.num_shards(), 0);
+  for (uint32_t s : shard_ids) member[s] = 1;
+  const std::vector<uint32_t>& prov_claims = graph_.prov_claims();
+
+  // Each segment owns its accumulator slot and its arithmetic is internal
+  // to the segment, so neither the worker decomposition nor the grouping
+  // of shards into subsets can change a single bit of the partials.
+  constexpr size_t kSegBlock = 256;
+  const size_t num_blocks =
+      (segments.size() + kSegBlock - 1) / kSegBlock;
+  ParallelFor(num_blocks, options_.num_workers, [&](size_t b) {
+    const size_t seg_end = std::min((b + 1) * kSegBlock, segments.size());
+    for (size_t i = b * kSegBlock; i < seg_end; ++i) {
+      const ClaimGraph::ProvSegment& seg = segments[i];
+      if (!member[seg.shard]) continue;
+      const kb::TripleId* triples = graph_.columns(seg.shard).prov_triples;
+      if (prov_claims[seg.prov] > options_.sample_cap) {
+        // Oversized provenance: keep the raw eligible values — the
+        // reservoir sample must see the concatenated sequence, so it is
+        // drawn at Finish, never per subset.
+        std::vector<float>& vals = seg_values_[i];
+        vals.reserve(seg.end - seg.begin);
+        for (uint32_t j = seg.begin; j < seg.end; ++j) {
+          const kb::TripleId t = triples[j];
+          // Fallback probabilities are not data-driven; they must not
+          // reinforce accuracies.
+          if (!result.has_probability[t] || result.from_fallback[t]) {
+            continue;
+          }
+          vals.push_back(static_cast<float>(result.probability[t]));
+        }
+        continue;
+      }
+      double sum = 0.0;
+      uint32_t cnt = 0;
+      for (uint32_t j = seg.begin; j < seg.end; ++j) {
+        const kb::TripleId t = triples[j];
+        if (!result.has_probability[t] || result.from_fallback[t]) continue;
+        sum += static_cast<double>(static_cast<float>(result.probability[t]));
+        ++cnt;
+      }
+      seg_sum_[i] = sum;
+      seg_cnt_[i] = cnt;
+    }
+  });
+}
+
+double FusionEngine::FinishStageII(double damping, double quantile) {
   KF_CHECK(damping > 0.0 && damping <= 1.0);
   KF_CHECK(quantile > 0.0 && quantile <= 1.0);
   const size_t num_provs = graph_.num_provs();
+  const std::vector<uint32_t>& seg_offsets = graph_.prov_segment_offsets();
+  const std::vector<uint32_t>& prov_claims = graph_.prov_claims();
   const size_t num_blocks = (num_provs + kProvBlock - 1) / kProvBlock;
   // The quantile criterion needs every provenance's delta, not just the
   // per-block max; -1 marks provenances this sweep did not update.
@@ -436,24 +541,35 @@ double FusionEngine::StageII(const FusionResult& result, double damping,
     std::vector<float> values;
     const size_t p_end = std::min((b + 1) * kProvBlock, num_provs);
     for (size_t p = b * kProvBlock; p < p_end; ++p) {
-      values.clear();
-      // Segment-directory sweep (shard-major per provenance): the same
-      // triple visitation order the flat cross-index used to store.
-      graph_.ForEachProvTriple(static_cast<uint32_t>(p), [&](kb::TripleId t) {
-        // Fallback probabilities are not data-driven; they must not
-        // reinforce accuracies.
-        if (!result.has_probability[t] || result.from_fallback[t]) return;
-        values.push_back(static_cast<float>(result.probability[t]));
-      });
-      if (values.empty()) continue;
-      if (values.size() > options_.sample_cap) {
-        Rng rng(HashCombine(HashCombine(options_.seed, 0x52),
-                            static_cast<uint64_t>(p)));
-        mr::ReservoirSample(&values, options_.sample_cap, &rng);
-      }
       double sum = 0.0;
-      for (float v : values) sum += v;
-      double proposed = std::clamp(sum / static_cast<double>(values.size()),
+      size_t cnt = 0;
+      if (prov_claims[p] > options_.sample_cap) {
+        // Concatenating the per-segment values in directory order
+        // reproduces the flat cross-index value sequence, so the sample
+        // (and thus the sum) is independent of the subset decomposition.
+        values.clear();
+        for (uint32_t s = seg_offsets[p]; s < seg_offsets[p + 1]; ++s) {
+          values.insert(values.end(), seg_values_[s].begin(),
+                        seg_values_[s].end());
+        }
+        if (values.size() > options_.sample_cap) {
+          Rng rng(HashCombine(HashCombine(options_.seed, 0x52),
+                              static_cast<uint64_t>(p)));
+          mr::ReservoirSample(&values, options_.sample_cap, &rng);
+        }
+        for (float v : values) sum += v;
+        cnt = values.size();
+      } else {
+        // Two-level reduction: per-segment partials folded in directory
+        // order — the canonical Stage II arithmetic for both the
+        // resident and the budgeted path.
+        for (uint32_t s = seg_offsets[p]; s < seg_offsets[p + 1]; ++s) {
+          sum += seg_sum_[s];
+          cnt += seg_cnt_[s];
+        }
+      }
+      if (cnt == 0) continue;
+      double proposed = std::clamp(sum / static_cast<double>(cnt),
                                    options_.accuracy_floor,
                                    options_.accuracy_ceiling);
       // Damped step toward the proposal; damping 1 applies it exactly
@@ -472,6 +588,11 @@ double FusionEngine::StageII(const FusionResult& result, double damping,
       evaluated_[p] = 1;
     }
   });
+  // Release the accumulators (seg_values_ can hold O(claims) floats for
+  // oversized provenances; the budget story wants that memory back).
+  std::vector<double>().swap(seg_sum_);
+  std::vector<uint32_t>().swap(seg_cnt_);
+  std::vector<std::vector<float>>().swap(seg_values_);
   double max_delta = 0.0;
   for (double d : block_delta) max_delta = std::max(max_delta, d);
   if (!need_all_deltas) return max_delta;

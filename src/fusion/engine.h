@@ -95,8 +95,39 @@ class FusionEngine {
   double StageII(const FusionResult& result, double damping,
                  double quantile);
 
+  // ---- out-of-core decompositions (spill::OutOfCoreFuser) ----
+  // StageI == BeginStageI + SweepStageI over all shards; StageII ==
+  // BeginStageII + AccumulateStageII over all shards + FinishStageII.
+  // Budgeted drivers call the Begin step once per round, then sweep /
+  // accumulate each resident shard subset as the spill manager schedules
+  // it. Every triple lives in one shard and every accumulator slot
+  // belongs to one segment, so any disjoint subset decomposition — like
+  // any worker count — produces bits identical to the one-shot sweep.
+
+  /// Freezes the per-round Stage I tables (log-odds, theta mask, the
+  /// round's filter regime) and clears the result masks.
+  void BeginStageI(size_t round, FusionResult* result);
+  /// Sweeps the given shards (each must be resident or mapped). Subsets
+  /// across one round must partition the shard set.
+  void SweepStageI(const std::vector<uint32_t>& shard_ids,
+                   FusionResult* result);
+  /// Sizes and zeroes the per-segment Stage II accumulators.
+  void BeginStageII(const FusionResult& result);
+  /// Folds the prov segments of the given shards into their accumulator
+  /// slots. Subsets across one round must partition the shard set.
+  void AccumulateStageII(const std::vector<uint32_t>& shard_ids,
+                         const FusionResult& result);
+  /// Merges the per-segment accumulators per provenance in directory
+  /// order, applies the damped accuracy update, and returns the quantile
+  /// delta (see StageII). Releases the accumulators.
+  double FinishStageII(double damping, double quantile);
+
   // ---- introspection ----
   const ClaimGraph& graph() const { return graph_; }
+  /// Mutable graph access for the spill layer's residency control
+  /// (ReleaseShardColumns / AttachShardColumns between sweeps). Not for
+  /// structural mutation — the engine owns the build/update lifecycle.
+  ClaimGraph& mutable_graph() { return graph_; }
   const FusionOptions& options() const { return options_; }
   size_t num_provenances() const { return graph_.num_provs(); }
   size_t num_claims() const { return graph_.num_claims(); }
@@ -127,7 +158,9 @@ class FusionEngine {
   /// Only valid when no filter is active (theta <= 0, no coverage
   /// filter) and the scorer is table-driven or VOTE; oversized groups
   /// (> sample_cap) still take the assembly path for reservoir sampling.
-  void SweepShard(const ClaimGraph::Shard& shard, double theta,
+  /// Reads the column view, so resident and mmap-backed shards score
+  /// through the same code.
+  void SweepShard(const ShardColumns& cols, double theta,
                   bool prefer_evaluated, bool score_in_place,
                   FusionResult* result) const;
   /// Rebuilds the Stage I sweep schedule: shards ordered largest-first
@@ -152,6 +185,23 @@ class FusionEngine {
   /// Per provenance: accuracy_[p] >= theta, precomputed when theta > 0
   /// (empty otherwise) so the filter is a byte test per claim.
   std::vector<uint8_t> theta_pass_;
+  /// Round regime frozen by BeginStageI: whether post-round-1 sweeps
+  /// prefer evaluated provenances, and whether the zero-copy in-place
+  /// path applies.
+  bool stage1_prefer_evaluated_ = false;
+  bool stage1_in_place_ = false;
+
+  // ---- Stage II per-segment accumulators (BeginStageII..Finish) ----
+  // Indexed by global segment id (ClaimGraph::prov_segments). The
+  // canonical Stage II reduction is two-level: per-segment partial sums
+  // folded per provenance in directory order, which is what makes
+  // subset-at-a-time accumulation bit-identical to the one-shot sweep.
+  std::vector<double> seg_sum_;
+  std::vector<uint32_t> seg_cnt_;
+  /// Raw eligible values, kept only for provenances whose claim count
+  /// exceeds sample_cap: their reservoir sample must be drawn from the
+  /// full concatenated value sequence, not from partial sums.
+  std::vector<std::vector<float>> seg_values_;
 
   // ---- Stage I sweep schedule (skew-aware, rebuilt on graph change) ----
   std::vector<uint32_t> sweep_order_;         // shard ids, most claims first

@@ -105,6 +105,11 @@ Status FusionOptions::Validate() const {
     return Status::InvalidArgument(
         "init_accuracy_from_gold needs gold_sample_rate > 0");
   }
+  if (!spill_dir.empty() && memory_budget_bytes == 0) {
+    return Status::InvalidArgument(
+        "spill_dir is set but memory_budget_bytes is 0; a spill directory "
+        "is only used by budgeted (out-of-core) fusion");
+  }
   if (num_shards > kMaxClaimGraphShards) {
     return Status::InvalidArgument(
         StrFormat("num_shards must be at most 2^20, got %zu", num_shards));
@@ -156,6 +161,9 @@ std::string FusionOptions::ToString() const {
   }
   if (convergence_quantile < 1.0) {
     out += StrFormat(" +ConvQuantile(%.2f)", convergence_quantile);
+  }
+  if (memory_budget_bytes > 0) {
+    out += StrFormat(" +Budget(%zuB)", memory_budget_bytes);
   }
   return out;
 }

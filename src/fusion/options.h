@@ -89,6 +89,19 @@ struct FusionOptions {
   double gold_sample_rate = 1.0;
 
   // ---- execution ----
+  /// Out-of-core fusion: when > 0, kf::Session (and spill::OutOfCoreFuser)
+  /// run the engine methods under this budget on the claim graph's
+  /// spillable shard columns — cold shards are written to per-shard
+  /// kf::store files and mapped back zero-copy subset by subset
+  /// (docs/architecture.md, "Out-of-core fusion"). Results are
+  /// bit-identical to the unbudgeted run. A budget smaller than the
+  /// largest single shard degrades to one-shard subsets (the effective
+  /// floor). FusionEngine itself ignores the field; 0 = fully resident.
+  size_t memory_budget_bytes = 0;
+  /// Directory for the spill files. Empty = a fresh directory under the
+  /// system temp dir, removed when the run's state is discarded. Only
+  /// meaningful with memory_budget_bytes > 0.
+  std::string spill_dir;
   size_t num_workers = 0;  // 0 = hardware concurrency (max 4096)
   /// Claim-graph shards (hash partitions of the data items). 0 = auto from
   /// the item count. Results are bit-identical for a fixed shard count

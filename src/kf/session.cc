@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fusion/registry.h"
+#include "spill/spill.h"
 
 namespace kf {
 
@@ -33,16 +34,32 @@ Result<fusion::FusionResult> Session::Fuse(
                                ? fusion::Registry::NameOf(options.method)
                                : options.method_name;
   // Reuse the fuser across same-method runs (its engine state is rebuilt
-  // by every cold Run anyway); switching methods re-creates it. The new
-  // fuser is only committed after validation succeeds, so a rejected
-  // Fuse leaves the previous method's warm state (and method()) intact.
+  // by every cold Run anyway); switching methods — or switching between
+  // budgeted and resident execution — re-creates it. The new fuser is
+  // only committed after validation succeeds, so a rejected Fuse leaves
+  // the previous method's warm state (and method()) intact.
+  const bool budgeted = options.memory_budget_bytes > 0;
   std::unique_ptr<fusion::Fuser> fresh;
   fusion::Fuser* fuser = fuser_.get();
-  if (fuser == nullptr || method_ != name) {
-    Result<std::unique_ptr<fusion::Fuser>> created =
-        fusion::Registry::Create(name);
-    if (!created.ok()) return created.status();
-    fresh = std::move(created).value();
+  if (fuser == nullptr || method_ != name || budgeted_ != budgeted) {
+    if (budgeted) {
+      // Only the engine methods decompose into budgeted sweeps; the
+      // registry-only baselines and extensions hold their own state and
+      // cannot spill.
+      fusion::Method engine_method;
+      if (!fusion::ParseEngineMethod(name, &engine_method)) {
+        return Status::InvalidArgument(
+            "memory_budget_bytes requires an engine method (vote, accu, "
+            "popaccu); '" +
+            name + "' cannot run out-of-core");
+      }
+      fresh = spill::MakeOutOfCoreFuser(engine_method);
+    } else {
+      Result<std::unique_ptr<fusion::Fuser>> created =
+          fusion::Registry::Create(name);
+      if (!created.ok()) return created.status();
+      fresh = std::move(created).value();
+    }
     fuser = fresh.get();
   }
   fusion::FuseContext ctx;
@@ -52,6 +69,7 @@ Result<fusion::FusionResult> Session::Fuse(
   if (fresh) {
     fuser_ = std::move(fresh);
     method_ = name;
+    budgeted_ = budgeted;
   }
   last_ = fuser_->Run(*dataset_, options, ctx);
   fused_records_ = dataset_->num_records();

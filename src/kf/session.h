@@ -70,6 +70,11 @@ class Session {
   /// the result plus — for engine methods — the warm state Refuse() needs.
   /// `gold` is required when options.init_accuracy_from_gold is set and
   /// by "confidence_weighted"; it is not retained.
+  /// With options.memory_budget_bytes > 0 the run routes through
+  /// spill::MakeOutOfCoreFuser instead: same engine, bit-identical
+  /// result, but cold shards spill to mmap-backed kf::store files so the
+  /// round loop's resident columns stay within the budget (engine
+  /// methods only; other methods are rejected with InvalidArgument).
   Result<fusion::FusionResult> Fuse(const fusion::FusionOptions& options,
                                     const std::vector<Label>* gold = nullptr);
 
@@ -130,6 +135,10 @@ class Session {
   const kb::ValueHierarchy* hierarchy_ = nullptr;
 
   std::string method_;
+  /// Whether fuser_ is the budgeted (spill::OutOfCoreFuser) variant;
+  /// switching memory_budget_bytes between zero and nonzero re-creates
+  /// the fuser even when the method name is unchanged.
+  bool budgeted_ = false;
   std::unique_ptr<fusion::Fuser> fuser_;
   std::optional<fusion::FusionResult> last_;
   /// Dataset size when last_ was produced (for pending_records()).

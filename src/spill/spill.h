@@ -1,0 +1,185 @@
+// kf::spill — memory-budgeted out-of-core fusion over mmap-backed shard
+// files.
+//
+// When FusionOptions::memory_budget_bytes is set, the claim graph's
+// spillable columns (items, the claim columns, the local prov
+// cross-index — ~16 B/claim + ~13 B/item) no longer need to be resident
+// all at once. ShardSpillManager writes cold shards to per-shard
+// kf::store kClaimShard files and maps them back zero-copy when the
+// SpillScheduler's plan brings them on budget; the engine sweeps
+// whatever columns the graph serves, so resident and mapped shards take
+// the same code path.
+//
+// Determinism contract (the headline guarantee): a budgeted run is
+// BIT-IDENTICAL to the fully-resident run, for every budget and every
+// worker count. Stage I writes disjoint per-triple slots under tables
+// frozen per round, so subset order cannot change bits; Stage II
+// accumulates per-segment partials that the finish step folds per
+// provenance in directory order, so the grouping of shards into subsets
+// cannot either (fusion/engine.h, "out-of-core decompositions").
+//
+// Budget semantics: the budget bounds the ACCOUNTED spillable bytes
+// (resident + mapped shard columns) during the round loop, after the
+// initial spill-down. The floor is the largest single shard — one shard
+// must always be readable. Graph construction (Prepare) is fully
+// resident; spilling begins with the first scheduled subset. Mapped
+// bytes are file-backed and reclaimable, but they count against the
+// budget anyway so the accounting is an upper bound on what the sweeps
+// can touch.
+//
+// Single-process, single-driver: residency changes only between sweeps.
+#ifndef KF_SPILL_SPILL_H_
+#define KF_SPILL_SPILL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/claim_graph.h"
+#include "fusion/fuser.h"
+#include "fusion/options.h"
+#include "store/shard_store.h"
+
+namespace kf::spill {
+
+/// The scheduler's sweep plan: ordered shard subsets, each fitting the
+/// budget (or holding exactly one over-budget shard — the documented
+/// floor). Subsets partition the shard set; empty shards ride along in
+/// the first subset at zero cost.
+struct SpillPlan {
+  std::vector<std::vector<uint32_t>> subsets;
+  /// Spillable bytes of the largest single shard (the budget floor).
+  size_t largest_shard_bytes = 0;
+  /// Accounted bytes of the heaviest subset: what the manager's
+  /// high-water must stay within.
+  size_t max_subset_bytes = 0;
+};
+
+/// Deterministic largest-first first-fit-decreasing packing of the
+/// graph's shards into subsets of at most `budget_bytes` accounted
+/// spillable bytes. Stable: equal-sized shards keep ascending id order,
+/// so the plan — like everything downstream of it — is a pure function
+/// of the graph and the budget.
+SpillPlan PlanSubsets(const fusion::ClaimGraph& graph, size_t budget_bytes);
+
+/// Running counters the bench family and the budget tests read.
+struct SpillStats {
+  /// Max accounted (resident + mapped) spillable bytes observed at the
+  /// end of any EnsureOnly() — the steady-state per-subset footprint.
+  size_t accounted_high_water = 0;
+  /// Currently accounted spillable bytes.
+  size_t accounted_bytes = 0;
+  size_t files_written = 0;      // shard files written (once per dirty shard)
+  size_t bytes_written = 0;      // file bytes written
+  size_t maps_opened = 0;        // mmap attach count (re-maps included)
+  size_t shards_evicted = 0;     // release/detach transitions
+};
+
+/// Owns the spill directory and the per-shard file + mapping lifecycle
+/// for one ClaimGraph. The graph stays file-unaware: this class is the
+/// only writer/reader of its residency states.
+class ShardSpillManager {
+ public:
+  struct Options {
+    /// Target accounted-bytes budget (0 is invalid here; the routing
+    /// layer only builds a manager for budgeted runs).
+    size_t budget_bytes = 0;
+    /// Directory for the per-shard files. Empty: a fresh
+    /// kf-spill-XXXXXX temp directory is created (and removed with the
+    /// manager). Non-empty: created if missing, files are removed with
+    /// the manager but the directory itself is kept.
+    std::string spill_dir;
+  };
+
+  /// Validates options, creates (or claims) the spill directory, and
+  /// probes it for writability. The graph must outlive the manager.
+  static Result<std::unique_ptr<ShardSpillManager>> Create(
+      fusion::ClaimGraph* graph, const Options& options);
+
+  /// Detaches every mapping it installed and removes its files (and the
+  /// directory, when owned). Best-effort: destruction never throws.
+  ~ShardSpillManager();
+
+  ShardSpillManager(const ShardSpillManager&) = delete;
+  ShardSpillManager& operator=(const ShardSpillManager&) = delete;
+
+  /// Makes exactly `subset` readable (resident or mapped) and evicts
+  /// every other shard, writing a shard's file first if the disk copy is
+  /// stale. The workhorse of the round loop: evicts before mapping, so
+  /// accounted bytes never exceed max(previous, new) subset footprint.
+  Status EnsureOnly(const std::vector<uint32_t>& subset);
+
+  /// Spills every still-resident shard and maps ALL shards: everything
+  /// readable (Snapshot / ForEachClaim serve zero-copy off the files)
+  /// while the owning vectors stay freed. The end-of-run state.
+  Status MapAll();
+
+  /// Re-syncs with the graph after a dataset Update(): shards the graph
+  /// rebuilt are resident again with stale disk copies — their files are
+  /// invalidated and any mapping dropped. Call right after PrepareWarm.
+  void Reconcile();
+
+  /// Concatenates every shard's file into one kShardBundle container at
+  /// `path` (store::ConcatShardFiles — no decode/re-encode). Requires
+  /// every shard file to be on disk and current, i.e. call after
+  /// MapAll().
+  Status MergeTo(const std::string& path);
+
+  const SpillStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  ShardSpillManager() = default;
+
+  /// Writes shard `s`'s columns to its file (overwriting a stale copy).
+  Status WriteShard(uint32_t s);
+  /// Opens + validates shard `s`'s file and attaches the mapping.
+  Status AttachShard(uint32_t s);
+  /// Releases or detaches shard `s` (no-op when already evicted).
+  void EvictShard(uint32_t s);
+  std::string ShardPath(uint32_t s) const;
+  void RecountAccounted(bool update_high_water);
+  /// Removes every file this manager wrote, and the directory when
+  /// owned. Mappings must already be detached.
+  void RemoveFilesBestEffort();
+
+  fusion::ClaimGraph* graph_ = nullptr;
+  std::string dir_;
+  bool owns_dir_ = false;
+  /// Per shard: whether the on-disk file matches the current columns.
+  std::vector<uint8_t> file_valid_;
+  /// Per shard: the live mapping backing a kMapped attachment.
+  std::vector<store::ShardMmapView> maps_;
+  SpillStats stats_;
+};
+
+/// Validation-time probe of a budgeted run's spill destination: creates
+/// the directory if needed and round-trips a probe file, so the fuser's
+/// in-run IO aborts are unreachable for plain misconfiguration (wrong
+/// path, read-only directory). An empty `spill_dir` probes the temp-dir
+/// default and removes the probe directory again; a user-supplied
+/// directory is created and left in place.
+Status ProbeSpillDir(const std::string& spill_dir);
+
+/// Creates the budgeted engine-method fuser (VOTE / ACCU / POPACCU run
+/// out-of-core; registry-only baselines and extensions do not go through
+/// the engine and cannot be budgeted). kf::Session routes here when
+/// options.memory_budget_bytes > 0.
+std::unique_ptr<fusion::Fuser> MakeOutOfCoreFuser(fusion::Method method);
+
+/// Introspection interface of the fuser MakeOutOfCoreFuser returns, for
+/// tests and benches that read the spill counters behind fusion results.
+class OutOfCoreIntrospection {
+ public:
+  virtual ~OutOfCoreIntrospection() = default;
+  virtual const SpillStats& spill_stats() const = 0;
+  virtual const SpillPlan& spill_plan() const = 0;
+  /// Peak RSS (bytes) sampled across the round loop of the last
+  /// Run/Refuse, per common/memprobe.h.
+  virtual size_t round_loop_peak_rss() const = 0;
+};
+
+}  // namespace kf::spill
+
+#endif  // KF_SPILL_SPILL_H_

@@ -25,7 +25,8 @@ size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
 // ---- BlockBuilder ----
 
 void BlockBuilder::AddEncoded(BlockId id, Encoding encoding,
-                              std::string_view payload, uint64_t rows) {
+                              std::string_view payload, uint64_t rows,
+                              uint32_t member_tag) {
   payloads_.resize(AlignUp(payloads_.size()), '\0');
   BlockEntry entry;
   entry.id = static_cast<uint32_t>(id);
@@ -34,13 +35,32 @@ void BlockBuilder::AddEncoded(BlockId id, Encoding encoding,
   entry.offset = payloads_.size();  // relative until Finish()
   entry.size = payload.size();
   entry.crc32 = Crc32(payload);
-  entry.reserved = 0;
+  entry.reserved = member_tag;
+  payloads_.append(payload.data(), payload.size());
+  toc_.push_back(entry);
+}
+
+void BlockBuilder::AddVerbatim(const BlockEntry& source,
+                               std::string_view payload,
+                               uint32_t member_tag) {
+  KF_CHECK(payload.size() == source.size);
+  payloads_.resize(AlignUp(payloads_.size()), '\0');
+  BlockEntry entry = source;  // keeps id, encoding, rows, and crc32
+  entry.offset = payloads_.size();  // relative until Finish()
+  entry.reserved = member_tag;
   payloads_.append(payload.data(), payload.size());
   toc_.push_back(entry);
 }
 
 void BlockBuilder::AddRaw(BlockId id, const void* data, size_t bytes,
                           uint64_t rows) {
+  // An empty column's data pointer may legitimately be null (e.g. the
+  // .data() of a never-populated vector); normalize it so the checksum
+  // and the append never touch a null pointer.
+  if (data == nullptr) {
+    KF_CHECK(bytes == 0);
+    data = "";
+  }
   AddEncoded(id, Encoding::kRaw,
              std::string_view(static_cast<const char*>(data), bytes), rows);
 }
@@ -133,7 +153,7 @@ Result<BlockFile> BlockFile::Parse(std::string_view file,
   if (header.content_kind != static_cast<uint32_t>(expected)) {
     return Status::InvalidArgument(
         StrFormat("store: content kind %u, expected %u (corpus=1, "
-                  "fused-kb=2)",
+                  "fused-kb=2, claim-shard=3, shard-bundle=4)",
                   header.content_kind,
                   static_cast<uint32_t>(expected)));
   }
@@ -183,6 +203,17 @@ Result<BlockFile> BlockFile::Parse(std::string_view file,
 const BlockEntry* BlockFile::Find(BlockId id) const {
   for (const BlockEntry& entry : toc_) {
     if (entry.id == static_cast<uint32_t>(id)) return &entry;
+  }
+  return nullptr;
+}
+
+const BlockEntry* BlockFile::FindTagged(BlockId id,
+                                        uint32_t member_tag) const {
+  for (const BlockEntry& entry : toc_) {
+    if (entry.id == static_cast<uint32_t>(id) &&
+        entry.reserved == member_tag) {
+      return &entry;
+    }
   }
   return nullptr;
 }

@@ -47,6 +47,14 @@ inline constexpr uint32_t kFormatVersion = 1;
 enum class ContentKind : uint32_t {
   kCorpus = 1,   // extract::TsvCorpus (full ExtractionDataset + dictionaries)
   kFusedKb = 2,  // kf::FusedKB (the extract::FusedKbTsv schema, M/P/T)
+  // One claim-graph shard's spillable columns (spill::ShardSpillManager).
+  // All blocks are kRaw so a mapped file serves the columns in place.
+  kClaimShard = 3,
+  // Concatenation of kClaimShard members into one container: each
+  // member's blocks keep their ids and payload bytes (BlockEntry.reserved
+  // carries the 1-based member ordinal), plus one bundle-level directory
+  // block. Produced by ConcatShardFiles without decode/re-encode.
+  kShardBundle = 4,
 };
 
 enum class Encoding : uint32_t {
@@ -112,6 +120,22 @@ enum class BlockId : uint32_t {
   kKbTripleFlags = 54,  // kRaw u8: bit0 has_prob, bit1 fallback, bit2 winner
   kKbSupportOffsets = 55,  // kDeltaVarint, rows = triples + 1
   kKbSupporters = 56,      // kVarintList over the offsets above
+
+  // ---- claim-shard sections (kClaimShard / kShardBundle members) ----
+  // All kRaw: the spill layer reads these zero-copy off a mapping.
+  kShardMeta = 70,        // kRaw u64[3]: shard_id, num_items, num_claims
+  kShardItems = 71,       // kRaw u32 (DataItemId), per item group
+  kShardItemOffsets = 72, // kRaw u32, CSR into claim columns (items + 1)
+  kShardItemMulti = 73,   // kRaw u8, per item group
+  kShardItemDistinct = 74,  // kRaw u32, per item group
+  kShardClaimTriple = 75,   // kRaw u32 (TripleId), per claim
+  kShardClaimProv = 76,     // kRaw u32, per claim
+  kShardClaimConfidence = 77,  // kRaw f32, per claim
+  kShardProvTriples = 78,   // kRaw u32 (TripleId), local prov cross-index
+  // Bundle-level only (BlockEntry.reserved == 0): u64[2] per member —
+  // shard_id, 1-based member ordinal (the `reserved` tag of the member's
+  // blocks). Ordered by member ordinal.
+  kShardDirectory = 79,
 };
 
 /// On-disk file header (40 bytes, little-endian).
@@ -134,7 +158,9 @@ struct BlockEntry {
   uint64_t offset;    // absolute payload offset, 8-aligned
   uint64_t size;      // payload bytes
   uint32_t crc32;     // CRC-32 of the payload bytes
-  uint32_t reserved;  // zero
+  // Zero in every kind except kShardBundle, where it carries the 1-based
+  // member ordinal (0 = a bundle-level block such as kShardDirectory).
+  uint32_t reserved;
 };
 static_assert(sizeof(BlockEntry) == 40, "BlockEntry layout is part of the format");
 
@@ -239,12 +265,20 @@ class BlockBuilder {
   void AddVarintLists(BlockId id, const std::vector<uint32_t>& offsets,
                       const std::vector<uint32_t>& values);
 
+  /// Re-appends an already-encoded block verbatim: the payload bytes are
+  /// copied as-is and `entry`'s id/encoding/rows/crc32 are reused (no
+  /// decode, no re-encode, no re-checksum — the source Parse validated
+  /// the CRC). `member_tag` lands in BlockEntry.reserved; nonzero tags
+  /// are how kShardBundle distinguishes its members' blocks.
+  void AddVerbatim(const BlockEntry& entry, std::string_view payload,
+                   uint32_t member_tag = 0);
+
   /// Assembles the final file. The builder is consumed.
   std::string Finish(ContentKind kind);
 
  private:
   void AddEncoded(BlockId id, Encoding encoding, std::string_view payload,
-                  uint64_t rows);
+                  uint64_t rows, uint32_t member_tag = 0);
 
   std::string payloads_;  // block bytes, each 8-aligned relative to 0
   std::vector<BlockEntry> toc_;  // offsets relative to payloads_ until Finish
@@ -260,6 +294,13 @@ class BlockFile {
   static Result<BlockFile> Parse(std::string_view file, ContentKind expected);
 
   const BlockEntry* Find(BlockId id) const;
+  /// Find restricted to blocks whose reserved tag matches: the lookup for
+  /// kShardBundle members (tag = 1-based ordinal; 0 = bundle level).
+  const BlockEntry* FindTagged(BlockId id, uint32_t member_tag) const;
+
+  /// The validated TOC, in file order (ConcatShardFiles and the bundle
+  /// reader walk it directly).
+  const std::vector<BlockEntry>& blocks() const { return toc_; }
 
   /// Raw payload bytes of `entry` (bounds were validated in Parse).
   std::string_view Payload(const BlockEntry& entry) const {
@@ -272,19 +313,27 @@ class BlockFile {
   Result<Span<const T>> Column(BlockId id) const {
     const BlockEntry* entry = Find(id);
     if (entry == nullptr) return MissingBlock(id);
+    return ColumnAt<T>(*entry);
+  }
+
+  /// Typed view of a specific TOC entry (bundle members share BlockIds,
+  /// so the caller resolves the entry first).
+  template <typename T>
+  Result<Span<const T>> ColumnAt(const BlockEntry& entry) const {
+    const BlockId id = static_cast<BlockId>(entry.id);
     // Divide instead of multiplying rows * sizeof(T): a huge rows value
     // must fail this check, not wrap uint64 into a matching product.
-    if (static_cast<Encoding>(entry->encoding) != Encoding::kRaw ||
-        entry->size % sizeof(T) != 0 ||
-        entry->size / sizeof(T) != entry->rows) {
+    if (static_cast<Encoding>(entry.encoding) != Encoding::kRaw ||
+        entry.size % sizeof(T) != 0 ||
+        entry.size / sizeof(T) != entry.rows) {
       return BadBlock(id, "unexpected encoding or element width");
     }
-    const char* p = file_.data() + entry->offset;
+    const char* p = file_.data() + entry.offset;
     if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0) {
       return BadBlock(id, "misaligned column payload");
     }
     return Span<const T>{reinterpret_cast<const T*>(p),
-                         static_cast<size_t>(entry->rows)};
+                         static_cast<size_t>(entry.rows)};
   }
 
   /// A required packed unsigned column; validates that the payload size

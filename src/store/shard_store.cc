@@ -1,0 +1,281 @@
+#include "store/shard_store.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "extract/tsv_io.h"
+
+namespace kf::store {
+
+namespace {
+
+/// The column blocks of one shard, in fixed write order. Shared by the
+/// writer, the reader, and the bundle concatenator so the three can
+/// never disagree about what a member contains.
+constexpr BlockId kShardColumnBlocks[] = {
+    BlockId::kShardMeta,          BlockId::kShardItems,
+    BlockId::kShardItemOffsets,   BlockId::kShardItemMulti,
+    BlockId::kShardItemDistinct,  BlockId::kShardClaimTriple,
+    BlockId::kShardClaimProv,     BlockId::kShardClaimConfidence,
+    BlockId::kShardProvTriples,
+};
+constexpr size_t kNumShardBlocks =
+    sizeof(kShardColumnBlocks) / sizeof(kShardColumnBlocks[0]);
+
+template <typename T>
+void AddSpan(BlockBuilder* builder, BlockId id, Span<const T> span) {
+  builder->AddRaw(id, span.ptr, span.count * sizeof(T), span.count);
+}
+
+template <typename T>
+Status LoadColumn(const BlockFile& file, BlockId id, uint32_t member_tag,
+                  uint64_t expected_rows, Span<const T>* out) {
+  const BlockEntry* entry = file.FindTagged(id, member_tag);
+  if (entry == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("store: shard member %u: missing block %u", member_tag,
+                  static_cast<uint32_t>(id)));
+  }
+  Result<Span<const T>> column = file.ColumnAt<T>(*entry);
+  if (!column.ok()) return column.status();
+  if (column->size() != expected_rows) {
+    return Status::InvalidArgument(
+        StrFormat("store: shard member %u: block %u has %zu rows, "
+                  "expected %llu",
+                  member_tag, static_cast<uint32_t>(id), column->size(),
+                  static_cast<unsigned long long>(expected_rows)));
+  }
+  *out = *column;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string BuildShardFile(const ShardFileColumns& cols) {
+  // Length disagreements here are writer bugs (the caller assembled the
+  // spans from one shard), not file corruption — abort, don't Status.
+  KF_CHECK(cols.item_offsets.size() == cols.items.size() + 1);
+  KF_CHECK(cols.item_multi.size() == cols.items.size());
+  KF_CHECK(cols.item_distinct.size() == cols.items.size());
+  KF_CHECK(cols.claim_prov.size() == cols.claim_triple.size());
+  KF_CHECK(cols.claim_confidence.size() == cols.claim_triple.size());
+  KF_CHECK(cols.prov_triples.size() == cols.claim_triple.size());
+
+  BlockBuilder builder;
+  const uint64_t meta[3] = {cols.shard_id, cols.num_items(),
+                            cols.num_claims()};
+  builder.AddRaw(BlockId::kShardMeta, meta, sizeof(meta), 3);
+  AddSpan(&builder, BlockId::kShardItems, cols.items);
+  AddSpan(&builder, BlockId::kShardItemOffsets, cols.item_offsets);
+  AddSpan(&builder, BlockId::kShardItemMulti, cols.item_multi);
+  AddSpan(&builder, BlockId::kShardItemDistinct, cols.item_distinct);
+  AddSpan(&builder, BlockId::kShardClaimTriple, cols.claim_triple);
+  AddSpan(&builder, BlockId::kShardClaimProv, cols.claim_prov);
+  AddSpan(&builder, BlockId::kShardClaimConfidence, cols.claim_confidence);
+  AddSpan(&builder, BlockId::kShardProvTriples, cols.prov_triples);
+  return builder.Finish(ContentKind::kClaimShard);
+}
+
+Status WriteShardFile(const ShardFileColumns& cols,
+                      const std::string& path) {
+  return extract::WriteFile(path, BuildShardFile(cols));
+}
+
+Result<ShardFileColumns> ReadShardColumns(const BlockFile& file,
+                                          uint32_t member_tag) {
+  Span<const uint64_t> meta;
+  KF_RETURN_IF_ERROR(
+      LoadColumn(file, BlockId::kShardMeta, member_tag, 3, &meta));
+  ShardFileColumns cols;
+  cols.shard_id = meta[0];
+  const uint64_t num_items = meta[1];
+  const uint64_t num_claims = meta[2];
+  // The meta counts size every other check; an absurd count must fail
+  // here (the per-block row checks would catch it anyway, but with a
+  // less direct message).
+  if (num_items > 0xffffffffull || num_claims > 0xffffffffull) {
+    return Status::InvalidArgument(
+        "store: shard meta counts exceed 32 bits");
+  }
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardItems, member_tag,
+                                num_items, &cols.items));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardItemOffsets,
+                                member_tag, num_items + 1,
+                                &cols.item_offsets));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardItemMulti, member_tag,
+                                num_items, &cols.item_multi));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardItemDistinct,
+                                member_tag, num_items,
+                                &cols.item_distinct));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardClaimTriple,
+                                member_tag, num_claims,
+                                &cols.claim_triple));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardClaimProv, member_tag,
+                                num_claims, &cols.claim_prov));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardClaimConfidence,
+                                member_tag, num_claims,
+                                &cols.claim_confidence));
+  KF_RETURN_IF_ERROR(LoadColumn(file, BlockId::kShardProvTriples,
+                                member_tag, num_claims,
+                                &cols.prov_triples));
+  // The CSR must cover the claim columns exactly: Stage I walks
+  // item_offsets straight into the claim arrays off the mapping.
+  if (cols.item_offsets[0] != 0 ||
+      cols.item_offsets[num_items] != num_claims) {
+    return Status::InvalidArgument(
+        "store: shard item offsets do not cover the claim columns");
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    if (cols.item_offsets[i] > cols.item_offsets[i + 1]) {
+      return Status::InvalidArgument(
+          "store: shard item offsets are not non-decreasing");
+    }
+  }
+  return cols;
+}
+
+Result<ShardMmapView> ShardMmapView::Open(const std::string& path) {
+  Result<MmapFile> map = MmapFile::Open(path);
+  if (!map.ok()) return map.status();
+  ShardMmapView view;
+  view.map_ = std::move(*map);
+  Result<BlockFile> file =
+      BlockFile::Parse(view.map_.data(), ContentKind::kClaimShard);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  path + ": " + file.status().message());
+  }
+  Result<ShardFileColumns> cols = ReadShardColumns(*file);
+  if (!cols.ok()) {
+    return Status(cols.status().code(),
+                  path + ": " + cols.status().message());
+  }
+  view.cols_ = *cols;
+  return view;
+}
+
+Result<std::string> BuildShardBundle(
+    const std::vector<std::string_view>& shard_files) {
+  BlockBuilder builder;
+  std::vector<uint64_t> directory;  // shard_id, ordinal pairs
+  directory.reserve(shard_files.size() * 2);
+  std::set<uint64_t> seen_ids;
+  for (size_t m = 0; m < shard_files.size(); ++m) {
+    const uint32_t ordinal = static_cast<uint32_t>(m + 1);
+    // Parse validates the header, the TOC, and every block CRC — the
+    // bundle only ever contains bytes that verified.
+    Result<BlockFile> member =
+        BlockFile::Parse(shard_files[m], ContentKind::kClaimShard);
+    if (!member.ok()) {
+      return Status(member.status().code(),
+                    StrFormat("store: bundle input %zu: %s", m,
+                              member.status().message().c_str()));
+    }
+    Result<ShardFileColumns> cols = ReadShardColumns(*member);
+    if (!cols.ok()) {
+      return Status(cols.status().code(),
+                    StrFormat("store: bundle input %zu: %s", m,
+                              cols.status().message().c_str()));
+    }
+    if (!seen_ids.insert(cols->shard_id).second) {
+      return Status::InvalidArgument(
+          StrFormat("store: bundle inputs repeat shard id %llu",
+                    static_cast<unsigned long long>(cols->shard_id)));
+    }
+    // Verbatim transplant: payload bytes and CRCs are reused; only the
+    // offsets move (Finish rewrites them) and the member tag is set.
+    for (BlockId id : kShardColumnBlocks) {
+      const BlockEntry* entry = member->Find(id);
+      KF_CHECK(entry != nullptr);  // ReadShardColumns proved presence
+      builder.AddVerbatim(*entry, member->Payload(*entry), ordinal);
+    }
+    directory.push_back(cols->shard_id);
+    directory.push_back(ordinal);
+  }
+  builder.AddRaw(BlockId::kShardDirectory, directory.data(),
+                 directory.size() * sizeof(uint64_t), directory.size());
+  return builder.Finish(ContentKind::kShardBundle);
+}
+
+Status ConcatShardFiles(const std::vector<std::string>& input_paths,
+                        const std::string& out_path) {
+  // Keep every mapping alive until the bundle bytes are assembled.
+  std::vector<MmapFile> maps;
+  maps.reserve(input_paths.size());
+  std::vector<std::string_view> images;
+  images.reserve(input_paths.size());
+  for (const std::string& path : input_paths) {
+    Result<MmapFile> map = MmapFile::Open(path);
+    if (!map.ok()) return map.status();
+    maps.push_back(std::move(*map));
+    images.push_back(maps.back().data());
+  }
+  Result<std::string> bundle = BuildShardBundle(images);
+  if (!bundle.ok()) return bundle.status();
+  return extract::WriteFile(out_path, *bundle);
+}
+
+Result<ShardBundleView> ShardBundleView::Parse(std::string_view bytes) {
+  Result<BlockFile> blocks =
+      BlockFile::Parse(bytes, ContentKind::kShardBundle);
+  if (!blocks.ok()) return blocks.status();
+  ShardBundleView view;
+  view.blocks_ = std::move(*blocks);
+  Result<Span<const uint64_t>> directory =
+      view.blocks_.Column<uint64_t>(BlockId::kShardDirectory);
+  if (!directory.ok()) return directory.status();
+  if (directory->size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "store: bundle directory must hold (shard id, ordinal) pairs");
+  }
+  const size_t members = directory->size() / 2;
+  view.shard_ids_.reserve(members);
+  for (size_t m = 0; m < members; ++m) {
+    const uint64_t ordinal = (*directory)[m * 2 + 1];
+    if (ordinal != m + 1) {
+      return Status::InvalidArgument(
+          "store: bundle directory ordinals must be 1..N in order");
+    }
+    view.shard_ids_.push_back((*directory)[m * 2]);
+  }
+  // Validate every member eagerly: Parse-then-serve, like every other
+  // view in the store (accessors after a successful Parse cannot fail
+  // structurally, only return the per-member Status again).
+  for (size_t m = 0; m < members; ++m) {
+    Result<ShardFileColumns> cols =
+        ReadShardColumns(view.blocks_, static_cast<uint32_t>(m + 1));
+    if (!cols.ok()) return cols.status();
+    if (cols->shard_id != view.shard_ids_[m]) {
+      return Status::InvalidArgument(
+          StrFormat("store: bundle member %zu: meta shard id %llu "
+                    "disagrees with the directory (%llu)",
+                    m, static_cast<unsigned long long>(cols->shard_id),
+                    static_cast<unsigned long long>(view.shard_ids_[m])));
+    }
+  }
+  return view;
+}
+
+Result<ShardFileColumns> ShardBundleView::member(size_t m) const {
+  KF_CHECK(m < shard_ids_.size());
+  return ReadShardColumns(blocks_, static_cast<uint32_t>(m + 1));
+}
+
+Result<ShardBundleMmapView> ShardBundleMmapView::Open(
+    const std::string& path) {
+  Result<MmapFile> map = MmapFile::Open(path);
+  if (!map.ok()) return map.status();
+  ShardBundleMmapView view;
+  view.map_ = std::move(*map);
+  Result<ShardBundleView> parsed = ShardBundleView::Parse(view.map_.data());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  view.view_ = std::move(*parsed);
+  return view;
+}
+
+}  // namespace kf::store

@@ -1,0 +1,406 @@
+// Claim-shard files and shard bundles (store/shard_store.h): the
+// round-trip contract (columns in == columns out, standalone and
+// mmap-backed), the concat-without-re-encode contract (a bundle member's
+// payload bytes and CRCs are byte-identical to the standalone file's),
+// and the hostile-input contract for the merged-TOC path — every
+// corruption of a bundle (directory lies, member bit flips, truncation
+// at any byte) loads to a clean Status, never a crash.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "store/shard_store.h"
+
+namespace kf::store {
+namespace {
+
+/// A small in-memory shard whose columns the Span views point into.
+struct OwnedShard {
+  uint64_t shard_id = 0;
+  std::vector<uint32_t> items;
+  std::vector<uint32_t> item_offsets;
+  std::vector<uint8_t> item_multi;
+  std::vector<uint32_t> item_distinct;
+  std::vector<uint32_t> claim_triple;
+  std::vector<uint32_t> claim_prov;
+  std::vector<float> claim_confidence;
+  std::vector<uint32_t> prov_triples;
+
+  ShardFileColumns Columns() const {
+    ShardFileColumns c;
+    c.shard_id = shard_id;
+    c.items = {items.data(), items.size()};
+    c.item_offsets = {item_offsets.data(), item_offsets.size()};
+    c.item_multi = {item_multi.data(), item_multi.size()};
+    c.item_distinct = {item_distinct.data(), item_distinct.size()};
+    c.claim_triple = {claim_triple.data(), claim_triple.size()};
+    c.claim_prov = {claim_prov.data(), claim_prov.size()};
+    c.claim_confidence = {claim_confidence.data(), claim_confidence.size()};
+    c.prov_triples = {prov_triples.data(), prov_triples.size()};
+    return c;
+  }
+};
+
+/// A deterministic shard with `items` items and 2 claims per item,
+/// parameterized by `shard_id` so bundle members are distinguishable.
+OwnedShard MakeShard(uint64_t shard_id, uint32_t items) {
+  OwnedShard s;
+  s.shard_id = shard_id;
+  s.item_offsets.push_back(0);
+  for (uint32_t g = 0; g < items; ++g) {
+    s.items.push_back(1000 * static_cast<uint32_t>(shard_id) + g);
+    s.item_multi.push_back(g % 2);
+    s.item_distinct.push_back(1 + g % 3);
+    for (uint32_t k = 0; k < 2; ++k) {
+      const uint32_t claim = 2 * g + k;
+      s.claim_triple.push_back(100 + claim);
+      s.claim_prov.push_back(claim % 5);
+      s.claim_confidence.push_back(0.25f * (1 + claim % 3));
+      s.prov_triples.push_back(100 + (claim * 7) % (2 * items));
+    }
+    s.item_offsets.push_back(2 * (g + 1));
+  }
+  return s;
+}
+
+template <typename T>
+std::vector<T> ToVector(Span<const T> span) {
+  return std::vector<T>(span.ptr, span.ptr + span.count);
+}
+
+void ExpectSameColumns(const OwnedShard& expect, const ShardFileColumns& got) {
+  EXPECT_EQ(got.shard_id, expect.shard_id);
+  EXPECT_EQ(ToVector(got.items), expect.items);
+  EXPECT_EQ(ToVector(got.item_offsets), expect.item_offsets);
+  EXPECT_EQ(ToVector(got.item_multi), expect.item_multi);
+  EXPECT_EQ(ToVector(got.item_distinct), expect.item_distinct);
+  EXPECT_EQ(ToVector(got.claim_triple), expect.claim_triple);
+  EXPECT_EQ(ToVector(got.claim_prov), expect.claim_prov);
+  EXPECT_EQ(ToVector(got.claim_confidence), expect.claim_confidence);
+  EXPECT_EQ(ToVector(got.prov_triples), expect.prov_triples);
+}
+
+// ---- standalone shard files -------------------------------------------
+
+TEST(ShardStoreTest, RoundTripInMemory) {
+  const OwnedShard shard = MakeShard(7, 5);
+  const std::string image = BuildShardFile(shard.Columns());
+  auto file = BlockFile::Parse(image, ContentKind::kClaimShard);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  auto cols = ReadShardColumns(*file);
+  ASSERT_TRUE(cols.ok()) << cols.status().message();
+  ExpectSameColumns(shard, *cols);
+}
+
+TEST(ShardStoreTest, RoundTripEmptyShard) {
+  // The degenerate shard every partitioned graph produces: zero items,
+  // zero claims, and the mandatory lone [0] CSR offset.
+  OwnedShard shard;
+  shard.shard_id = 3;
+  shard.item_offsets = {0};
+  const std::string image = BuildShardFile(shard.Columns());
+  auto file = BlockFile::Parse(image, ContentKind::kClaimShard);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  auto cols = ReadShardColumns(*file);
+  ASSERT_TRUE(cols.ok()) << cols.status().message();
+  EXPECT_EQ(cols->shard_id, 3u);
+  EXPECT_EQ(cols->num_items(), 0u);
+  EXPECT_EQ(cols->num_claims(), 0u);
+  EXPECT_EQ(cols->item_offsets.size(), 1u);
+  EXPECT_EQ(cols->item_offsets[0], 0u);
+}
+
+TEST(ShardStoreTest, MmapViewServesColumnsInPlace) {
+  const OwnedShard shard = MakeShard(11, 8);
+  const std::string path = ::testing::TempDir() + "shard_store_mmap.kfs";
+  ASSERT_TRUE(WriteShardFile(shard.Columns(), path).ok());
+  auto view = ShardMmapView::Open(path);
+  ASSERT_TRUE(view.ok()) << view.status().message();
+  ExpectSameColumns(shard, view->columns());
+  ::remove(path.c_str());
+}
+
+TEST(ShardStoreTest, WrongContentKindIsRejected) {
+  const std::string image = BuildShardFile(MakeShard(1, 2).Columns());
+  auto bundle = BlockFile::Parse(image, ContentKind::kShardBundle);
+  EXPECT_FALSE(bundle.ok());
+}
+
+// ---- crafted standalone corruption ------------------------------------
+
+/// Patches the TOC rows of block `id` (all matching entries) and
+/// re-stamps the TOC CRC so only semantic validation can object.
+std::string PatchTocRows(std::string bytes, BlockId id, uint64_t rows) {
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry* toc = reinterpret_cast<BlockEntry*>(&bytes[header.toc_offset]);
+  for (uint32_t i = 0; i < header.toc_count; ++i) {
+    if (toc[i].id == static_cast<uint32_t>(id)) toc[i].rows = rows;
+  }
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  return bytes;
+}
+
+/// Mutates the payload of the first block with `id` and re-stamps both
+/// CRCs, so the corruption is checksum-consistent.
+std::string PatchBlock(std::string bytes, BlockId id,
+                       void (*mutate)(char* payload, size_t size)) {
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry* toc = reinterpret_cast<BlockEntry*>(&bytes[header.toc_offset]);
+  for (uint32_t i = 0; i < header.toc_count; ++i) {
+    if (toc[i].id == static_cast<uint32_t>(id)) {
+      mutate(&bytes[toc[i].offset], toc[i].size);
+      toc[i].crc32 = Crc32(&bytes[toc[i].offset], toc[i].size);
+      break;
+    }
+  }
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  return bytes;
+}
+
+Status ReadImage(const std::string& image) {
+  auto file = BlockFile::Parse(image, ContentKind::kClaimShard);
+  if (!file.ok()) return file.status();
+  return ReadShardColumns(*file).status();
+}
+
+TEST(ShardStoreCorruptionTest, RowCountLieIsRejected) {
+  // A rows lie breaks the rows x width == payload size invariant that
+  // ColumnAt validates before anything reads the span.
+  const std::string image = BuildShardFile(MakeShard(2, 4).Columns());
+  Status st = ReadImage(PatchTocRows(image, BlockId::kShardClaimProv, 3));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unexpected encoding or element width"),
+            std::string::npos);
+}
+
+TEST(ShardStoreCorruptionTest, CsrNotCoveringClaimsIsRejected) {
+  const std::string image = BuildShardFile(MakeShard(2, 4).Columns());
+  Status st = ReadImage(PatchBlock(
+      image, BlockId::kShardItemOffsets, [](char* payload, size_t size) {
+        uint32_t last = 999;  // != num_claims
+        std::memcpy(payload + size - sizeof(last), &last, sizeof(last));
+      }));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("offsets"), std::string::npos);
+}
+
+TEST(ShardStoreCorruptionTest, NonMonotoneOffsetsAreRejected) {
+  const std::string image = BuildShardFile(MakeShard(2, 4).Columns());
+  Status st = ReadImage(PatchBlock(
+      image, BlockId::kShardItemOffsets, [](char* payload, size_t size) {
+        (void)size;
+        uint32_t spike = 1000000;  // offsets[1] > offsets[2]
+        std::memcpy(payload + sizeof(uint32_t), &spike, sizeof(spike));
+      }));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-decreasing"), std::string::npos);
+}
+
+TEST(ShardStoreCorruptionTest, AbsurdMetaCountsAreRejected) {
+  const std::string image = BuildShardFile(MakeShard(2, 4).Columns());
+  Status st = ReadImage(PatchBlock(
+      image, BlockId::kShardMeta, [](char* payload, size_t size) {
+        (void)size;
+        uint64_t huge = 1ull << 40;
+        std::memcpy(payload + sizeof(uint64_t), &huge, sizeof(huge));
+      }));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("32 bits"), std::string::npos);
+}
+
+// ---- bundles: concat without re-encode --------------------------------
+
+std::vector<std::string> MakeShardImages() {
+  return {BuildShardFile(MakeShard(0, 3).Columns()),
+          BuildShardFile(MakeShard(1, 0).Columns()),
+          BuildShardFile(MakeShard(2, 6).Columns())};
+}
+
+TEST(ShardBundleTest, BundleRoundTripsEveryMember) {
+  const std::vector<std::string> images = MakeShardImages();
+  auto bundle = BuildShardBundle(
+      {images[0], images[1], images[2]});
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  auto view = ShardBundleView::Parse(*bundle);
+  ASSERT_TRUE(view.ok()) << view.status().message();
+  ASSERT_EQ(view->num_members(), 3u);
+  EXPECT_EQ(view->shard_id(0), 0u);
+  EXPECT_EQ(view->shard_id(1), 1u);
+  EXPECT_EQ(view->shard_id(2), 2u);
+  auto m0 = view->member(0);
+  ASSERT_TRUE(m0.ok());
+  ExpectSameColumns(MakeShard(0, 3), *m0);
+  auto m2 = view->member(2);
+  ASSERT_TRUE(m2.ok());
+  ExpectSameColumns(MakeShard(2, 6), *m2);
+}
+
+TEST(ShardBundleTest, MemberPayloadsAreVerbatim) {
+  // The no-re-encode contract, checked byte for byte: every block of
+  // every member must carry exactly the payload bytes — and the CRC —
+  // of the standalone shard file it came from.
+  const std::vector<std::string> images = MakeShardImages();
+  auto bundle = BuildShardBundle({images[0], images[1], images[2]});
+  ASSERT_TRUE(bundle.ok());
+  auto bundle_file = BlockFile::Parse(*bundle, ContentKind::kShardBundle);
+  ASSERT_TRUE(bundle_file.ok());
+  for (size_t m = 0; m < images.size(); ++m) {
+    auto standalone = BlockFile::Parse(images[m], ContentKind::kClaimShard);
+    ASSERT_TRUE(standalone.ok());
+    for (const BlockEntry& entry : standalone->blocks()) {
+      const BlockEntry* in_bundle = bundle_file->FindTagged(
+          static_cast<BlockId>(entry.id), static_cast<uint32_t>(m + 1));
+      ASSERT_NE(in_bundle, nullptr);
+      EXPECT_EQ(in_bundle->rows, entry.rows);
+      EXPECT_EQ(in_bundle->encoding, entry.encoding);
+      EXPECT_EQ(in_bundle->crc32, entry.crc32);
+      EXPECT_EQ(bundle_file->Payload(*in_bundle),
+                standalone->Payload(entry));
+    }
+  }
+}
+
+TEST(ShardBundleTest, DuplicateShardIdsAreRejected) {
+  const std::string image = BuildShardFile(MakeShard(5, 2).Columns());
+  auto bundle = BuildShardBundle({image, image});
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_NE(bundle.status().message().find("repeat shard id"),
+            std::string::npos);
+}
+
+TEST(ShardBundleTest, CorruptInputIsRejectedWithItsIndex) {
+  std::vector<std::string> images = MakeShardImages();
+  images[1][images[1].size() / 2] ^= 0x08;  // flip one payload bit
+  auto bundle = BuildShardBundle({images[0], images[1], images[2]});
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_NE(bundle.status().message().find("bundle input 1"),
+            std::string::npos);
+}
+
+TEST(ShardBundleTest, ConcatShardFilesRoundTripsViaMmap) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    paths.push_back(dir + "shard_concat_" + std::to_string(i) + ".kfs");
+    ASSERT_TRUE(
+        WriteShardFile(MakeShard(i, 2 * i).Columns(), paths[i]).ok());
+  }
+  const std::string out = dir + "shard_concat_bundle.kfs";
+  ASSERT_TRUE(ConcatShardFiles(paths, out).ok());
+  auto view = ShardBundleMmapView::Open(out);
+  ASSERT_TRUE(view.ok()) << view.status().message();
+  ASSERT_EQ(view->view().num_members(), 3u);
+  for (size_t m = 0; m < 3; ++m) {
+    auto cols = view->view().member(m);
+    ASSERT_TRUE(cols.ok());
+    ExpectSameColumns(MakeShard(m, 2 * m), *cols);
+  }
+  for (const std::string& p : paths) ::remove(p.c_str());
+  ::remove(out.c_str());
+}
+
+// ---- merged-TOC corruption --------------------------------------------
+
+std::string ValidBundle() {
+  const std::vector<std::string> images = MakeShardImages();
+  auto bundle = BuildShardBundle({images[0], images[1], images[2]});
+  EXPECT_TRUE(bundle.ok());
+  return *bundle;
+}
+
+void ExpectCleanBundleFailure(const std::string& bytes) {
+  auto view = ShardBundleView::Parse(bytes);
+  EXPECT_FALSE(view.ok());
+  EXPECT_FALSE(view.status().message().empty());
+}
+
+TEST(ShardBundleCorruptionTest, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string bytes = ValidBundle();
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    ExpectCleanBundleFailure(bytes.substr(0, len));
+  }
+  ExpectCleanBundleFailure(bytes.substr(0, bytes.size() - 1));
+  ExpectCleanBundleFailure(bytes + "trailing garbage");
+}
+
+TEST(ShardBundleCorruptionTest, MemberPayloadBitFlipFailsTheChecksum) {
+  std::string bytes = ValidBundle();
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  const BlockEntry* toc =
+      reinterpret_cast<const BlockEntry*>(&bytes[header.toc_offset]);
+  for (uint32_t i = 0; i < header.toc_count; ++i) {
+    if (toc[i].size > 0 && toc[i].reserved == 3) {  // a member-3 block
+      bytes[toc[i].offset] ^= 0x01;
+      break;
+    }
+  }
+  ExpectCleanBundleFailure(bytes);
+}
+
+TEST(ShardBundleCorruptionTest, DirectoryOrdinalLieIsRejected) {
+  Status st = ShardBundleView::Parse(PatchBlock(
+                  ValidBundle(), BlockId::kShardDirectory,
+                  [](char* payload, size_t size) {
+                    (void)size;
+                    uint64_t two = 2;  // first pair's ordinal: 1 -> 2
+                    std::memcpy(payload + sizeof(uint64_t), &two,
+                                sizeof(two));
+                  }))
+                  .status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ordinals"), std::string::npos);
+}
+
+TEST(ShardBundleCorruptionTest, DirectoryShardIdLieIsRejected) {
+  Status st = ShardBundleView::Parse(PatchBlock(
+                  ValidBundle(), BlockId::kShardDirectory,
+                  [](char* payload, size_t size) {
+                    (void)size;
+                    uint64_t wrong = 42;  // first pair's shard id
+                    std::memcpy(payload, &wrong, sizeof(wrong));
+                  }))
+                  .status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("disagrees with the directory"),
+            std::string::npos);
+}
+
+TEST(ShardBundleCorruptionTest, OddDirectoryIsRejected) {
+  Status st = ShardBundleView::Parse(PatchTocRows(
+                  ValidBundle(), BlockId::kShardDirectory, 5))
+                  .status();
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(ShardBundleCorruptionTest, MissingMemberBlockIsRejected) {
+  // Retag member 3's meta block as member 9: the directory still
+  // promises three members, so member 3 now misses its meta.
+  std::string bytes = ValidBundle();
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  BlockEntry* toc = reinterpret_cast<BlockEntry*>(&bytes[header.toc_offset]);
+  for (uint32_t i = 0; i < header.toc_count; ++i) {
+    if (toc[i].id == static_cast<uint32_t>(BlockId::kShardMeta) &&
+        toc[i].reserved == 3) {
+      toc[i].reserved = 9;
+    }
+  }
+  header.toc_crc32 = Crc32(&bytes[header.toc_offset],
+                           header.toc_count * sizeof(BlockEntry));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  Status st = ShardBundleView::Parse(bytes).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("missing block"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::store
