@@ -485,6 +485,7 @@ void BM_OutOfCorePopAccu(benchmark::State& state) {
   KF_CHECK_OK(fuser->ValidateContext(corpus.dataset, opts, ctx));
   for (auto _ : state) {
     auto result = fuser->Run(corpus.dataset, opts, ctx);
+    KF_CHECK(result.ok());
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

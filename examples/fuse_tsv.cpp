@@ -8,6 +8,7 @@
 //              [--min-prob=P] [--export=KB.tsv]
 //              [--save-bin=CORPUS.kfs] [--load-bin=CORPUS.kfs]
 //              [--memory-budget=MB] [--spill-dir=PATH]
+//              [--fault=SPEC]
 //
 // Input columns: subject predicate object extractor url [confidence]
 // Output columns: subject predicate object probability
@@ -29,6 +30,12 @@
 // spill to mmap-backed kf::store files and the output is bit-identical
 // to the unbudgeted run. --spill-dir=PATH puts the shard files there
 // instead of a fresh temp directory.
+//
+// --fault=SPEC arms a deterministic failpoint schedule (same grammar as
+// the KF_FAULT environment variable, e.g. "spill.write=eintr%4(seed=7)")
+// before fusing, and the run reports how far down the degradation ladder
+// it had to go: transient retries, shards quarantined and rebuilt, or a
+// full resident fallback. See docs/api.md, "Fault injection".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "extract/tsv_io.h"
 #include "fusion/registry.h"
@@ -65,6 +73,7 @@ void Usage() {
                "                [--save-bin=CORPUS.kfs] "
                "[--load-bin=CORPUS.kfs]\n"
                "                [--memory-budget=MB] [--spill-dir=PATH]\n"
+               "                [--fault=SPEC]\n"
                "methods: %s\n",
                fusion::Registry::NamesCsv().c_str());
 }
@@ -82,7 +91,7 @@ int main(int argc, char** argv) {
     // These accept both "--flag=value" and "--flag value".
     if (arg == "--export" || arg == "--min-prob" || arg == "--save-bin" ||
         arg == "--load-bin" || arg == "--memory-budget" ||
-        arg == "--spill-dir") {
+        arg == "--spill-dir" || arg == "--fault") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
         Usage();
@@ -140,6 +149,18 @@ int main(int argc, char** argv) {
       options.spill_dir = arg.substr(12);
       if (options.spill_dir.empty()) {
         std::fprintf(stderr, "error: --spill-dir expects a path\n");
+        Usage();
+        return 2;
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--fault=")) {
+      // Armed on top of any KF_FAULT schedule already in the environment;
+      // the parser rejects the whole spec on any malformed clause.
+      Status armed = fault::ArmFromConfig(arg.substr(8));
+      if (!armed.ok()) {
+        std::fprintf(stderr, "error: --fault: %s\n",
+                     armed.ToString().c_str());
         Usage();
         return 2;
       }
@@ -280,6 +301,22 @@ int main(int argc, char** argv) {
     // bare TSV cannot provide.
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 2;
+  }
+
+  // Budgeted runs report how far down the degradation ladder they went —
+  // silence means no I/O failure had to be absorbed.
+  if (const spill::SpillStats* sp = session.spill_stats()) {
+    if (sp->transient_retries > 0 || sp->shards_quarantined > 0 ||
+        sp->resident_fallback) {
+      std::fprintf(stderr,
+                   "fault recovery: %llu transient retries, %zu shards "
+                   "quarantined, %zu rematerialized%s\n",
+                   static_cast<unsigned long long>(sp->transient_retries),
+                   sp->shards_quarantined, sp->shards_rematerialized,
+                   sp->resident_fallback
+                       ? ", spill dir abandoned (finished fully resident)"
+                       : "");
+    }
   }
 
   // --min-prob / --export work on the fused-KB snapshot (engine methods

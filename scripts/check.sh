@@ -3,15 +3,21 @@
 #   ./scripts/check.sh            -> configure + build + ctest in ./build
 #   ./scripts/check.sh --asan     -> ASan+UBSan build in ./build-asan
 #   ./scripts/check.sh --tsan     -> ThreadSanitizer build in ./build-tsan
+#   ./scripts/check.sh --faults   -> fault-injection matrix: the spill and
+#                                    store suites re-run under seeded
+#                                    KF_FAULT schedules (combines with
+#                                    --asan/--tsan)
 #   BUILD_DIR=build-asan KF_SANITIZE=ON ./scripts/check.sh   (env spelling)
 #   BUILD_DIR=build-tsan KF_TSAN=ON ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAULTS=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) KF_SANITIZE=ON; BUILD_DIR="${BUILD_DIR:-build-asan}" ;;
     --tsan) KF_TSAN=ON; BUILD_DIR="${BUILD_DIR:-build-tsan}" ;;
+    --faults) FAULTS=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -35,4 +41,26 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # The ${arr[@]+...} guard keeps `set -u` happy on bash < 4.4 when empty.
 cmake -B "${BUILD_DIR}" -S . ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}
 cmake --build "${BUILD_DIR}" -j"${JOBS}"
-cd "${BUILD_DIR}" && ctest --output-on-failure -j"${JOBS}"
+cd "${BUILD_DIR}"
+
+if [[ "${FAULTS}" == "1" ]]; then
+  # Fault-injection matrix: the out-of-core and durability suites re-run
+  # under seeded KF_FAULT schedules (see docs/api.md, "Fault injection").
+  # Schedules arm only the spill.* sites with full recovery — retry,
+  # quarantine + rematerialize — so every bit-identity assertion must
+  # still hold; stats-exact tests skip themselves when faults are armed.
+  # Seeded %P triggers make each schedule a deterministic replay. The
+  # `faults` label is assigned in tests/CMakeLists.txt.
+  FAULT_SCHEDULES=(
+    'spill.write=eintr%4(seed=11);spill.attach=eio%5(seed=12)'
+    'spill.write=enospc%6(seed=23)'
+    'spill.write=eagain%3(seed=31);spill.attach=eio%7(seed=37)'
+  )
+  for schedule in "${FAULT_SCHEDULES[@]}"; do
+    echo "== KF_FAULT=${schedule}"
+    KF_FAULT="${schedule}" ctest --output-on-failure -j"${JOBS}" -L faults
+  done
+  exit 0
+fi
+
+ctest --output-on-failure -j"${JOBS}"

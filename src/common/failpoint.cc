@@ -1,0 +1,334 @@
+#include "common/failpoint.h"
+
+#include <errno.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace kf::fault {
+
+namespace {
+
+struct Entry {
+  FaultSpec spec;
+  bool armed = false;
+  uint64_t hits = 0;
+};
+
+struct RegistryState {
+  std::map<std::string, Entry> sites;
+  bool count_all = false;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+RegistryState& Registry() {
+  static RegistryState r;
+  return r;
+}
+
+/// g_active mirrors (armed site count + count_all). Call with the mutex
+/// held.
+void RecomputeActiveLocked() {
+  int n = 0;
+  for (const auto& [site, e] : Registry().sites) {
+    (void)site;
+    if (e.armed) ++n;
+  }
+  if (Registry().count_all) ++n;
+  internal::g_active.store(n, std::memory_order_relaxed);
+}
+
+/// SplitMix64 — the probability trigger's decision function. Mixing
+/// (seed, site hash, hit#) makes each decision deterministic and
+/// independent of how hits interleave across OTHER sites.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// True when `spec`'s trigger fires at 1-based hit `hit` of `site`.
+bool Fires(const FaultSpec& spec, const char* site, uint64_t hit) {
+  if (spec.one_in > 0) {
+    const uint64_t z = Mix64(spec.seed ^ Mix64(HashSite(site)) ^ hit);
+    return z % spec.one_in == 0;
+  }
+  if (hit < spec.hit_from) return false;
+  return spec.hit_to == 0 || hit <= spec.hit_to;
+}
+
+// ---- KF_FAULT grammar ----
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ActionByName(std::string_view name, FaultSpec* spec) {
+  struct Named {
+    const char* name;
+    FaultSpec::Action action;
+    int err;
+  };
+  static constexpr Named kActions[] = {
+      {"err", FaultSpec::Action::kError, EIO},
+      {"eio", FaultSpec::Action::kError, EIO},
+      {"enospc", FaultSpec::Action::kError, ENOSPC},
+      {"eintr", FaultSpec::Action::kError, EINTR},
+      {"eagain", FaultSpec::Action::kError, EAGAIN},
+      {"enoent", FaultSpec::Action::kError, ENOENT},
+      {"eacces", FaultSpec::Action::kError, EACCES},
+      {"kill", FaultSpec::Action::kKill, 0},
+  };
+  for (const Named& a : kActions) {
+    if (name == a.name) {
+      spec->action = a.action;
+      spec->err = a.err;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ParseSpec(std::string_view text, std::string* site, FaultSpec* spec) {
+  const size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument(
+        StrFormat("KF_FAULT: missing '=' in spec \"%.*s\"",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  *site = std::string(text.substr(0, eq));
+  std::string_view rhs = text.substr(eq + 1);
+  size_t alpha = 0;
+  while (alpha < rhs.size() &&
+         std::isalpha(static_cast<unsigned char>(rhs[alpha]))) {
+    ++alpha;
+  }
+  if (!ActionByName(rhs.substr(0, alpha), spec)) {
+    return Status::InvalidArgument(
+        StrFormat("KF_FAULT: unknown action in spec \"%.*s\"",
+                  static_cast<int>(text.size()), text.data()));
+  }
+  std::string_view trig = rhs.substr(alpha);
+  if (trig.empty()) return Status::OK();  // every hit
+  const Status bad_trigger = Status::InvalidArgument(
+      StrFormat("KF_FAULT: malformed trigger in spec \"%.*s\"",
+                static_cast<int>(text.size()), text.data()));
+  if (trig[0] == '@') {
+    std::string_view body = trig.substr(1);
+    bool open_ended = false;
+    if (!body.empty() && body.back() == '+') {
+      open_ended = true;
+      body.remove_suffix(1);
+    }
+    const size_t dash = body.find('-');
+    uint64_t from = 0;
+    uint64_t to = 0;
+    if (dash != std::string_view::npos) {
+      if (open_ended || !ParseU64(body.substr(0, dash), &from) ||
+          !ParseU64(body.substr(dash + 1), &to) || from == 0 || to < from) {
+        return bad_trigger;
+      }
+    } else {
+      if (!ParseU64(body, &from) || from == 0) return bad_trigger;
+      to = open_ended ? 0 : from;
+    }
+    spec->hit_from = from;
+    spec->hit_to = to;
+    return Status::OK();
+  }
+  if (trig[0] == '*') {
+    uint64_t n = 0;
+    if (!ParseU64(trig.substr(1), &n) || n == 0) return bad_trigger;
+    spec->hit_from = 1;
+    spec->hit_to = n;
+    return Status::OK();
+  }
+  if (trig[0] == '%') {
+    std::string_view body = trig.substr(1);
+    uint64_t seed = 0;
+    const size_t paren = body.find('(');
+    if (paren != std::string_view::npos) {
+      std::string_view seed_part = body.substr(paren);
+      constexpr std::string_view kSeedPrefix = "(seed=";
+      if (seed_part.substr(0, kSeedPrefix.size()) != kSeedPrefix ||
+          seed_part.back() != ')' ||
+          !ParseU64(seed_part.substr(kSeedPrefix.size(),
+                                     seed_part.size() - kSeedPrefix.size() - 1),
+                    &seed)) {
+        return bad_trigger;
+      }
+      body = body.substr(0, paren);
+    }
+    uint64_t p = 0;
+    if (!ParseU64(body, &p) || p == 0 || p > UINT32_MAX) return bad_trigger;
+    spec->one_in = static_cast<uint32_t>(p);
+    spec->seed = seed;
+    return Status::OK();
+  }
+  return bad_trigger;
+}
+
+/// Arms KF_FAULT from the environment once, at static-init time, so a
+/// schedule is live before any library code can hit a site. A malformed
+/// schedule aborts: CI must never silently run a typo'd fault matrix as
+/// a no-fault pass.
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = ::getenv("KF_FAULT");
+    if (env == nullptr || env[0] == '\0') return;
+    KF_CHECK_OK(ArmFromConfig(env));
+  }
+};
+EnvArmer g_env_armer;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_active{0};
+
+int InjectSlow(const char* site) {
+  FaultSpec fired;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    RegistryState& reg = Registry();
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) {
+      if (!reg.count_all) return 0;
+      it = reg.sites.emplace(site, Entry{}).first;
+    }
+    Entry& e = it->second;
+    ++e.hits;
+    if (!e.armed || !Fires(e.spec, site, e.hits)) return 0;
+    fired = e.spec;
+    fire = true;
+  }
+  if (fire && fired.action == FaultSpec::Action::kKill) {
+    // Crash simulation: no destructors, no atexit, no stream flushes.
+    ::_exit(kKillExitCode);
+  }
+  return fired.err;
+}
+
+}  // namespace internal
+
+bool AnyArmed() {
+  return internal::g_active.load(std::memory_order_relaxed) != 0;
+}
+
+void Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Entry& e = Registry().sites[site];
+  e.spec = spec;
+  e.armed = true;
+  e.hits = 0;
+  RecomputeActiveLocked();
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().sites.find(site);
+  if (it != Registry().sites.end()) it->second.armed = false;
+  RecomputeActiveLocked();
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().sites.clear();
+  Registry().count_all = false;
+  RecomputeActiveLocked();
+}
+
+Status ArmFromConfig(std::string_view config) {
+  // Parse everything first: a malformed schedule arms nothing.
+  std::vector<std::pair<std::string, FaultSpec>> specs;
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t end = config.find(';', pos);
+    if (end == std::string_view::npos) end = config.size();
+    std::string_view piece = config.substr(pos, end - pos);
+    while (!piece.empty() && piece.front() == ' ') piece.remove_prefix(1);
+    while (!piece.empty() && piece.back() == ' ') piece.remove_suffix(1);
+    if (!piece.empty()) {
+      std::string site;
+      FaultSpec spec;
+      KF_RETURN_IF_ERROR(ParseSpec(piece, &site, &spec));
+      specs.emplace_back(std::move(site), spec);
+    }
+    pos = end + 1;
+  }
+  for (const auto& [site, spec] : specs) Arm(site, spec);
+  return Status::OK();
+}
+
+uint64_t Hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().sites.find(site);
+  return it != Registry().sites.end() ? it->second.hits : 0;
+}
+
+void SetCountAll(bool on) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().count_all = on;
+  RecomputeActiveLocked();
+}
+
+std::vector<std::pair<std::string, uint64_t>> CountedSites() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(Registry().sites.size());
+  for (const auto& [site, e] : Registry().sites) {
+    if (e.hits > 0) out.emplace_back(site, e.hits);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+struct ScopedFaults::State {
+  RegistryState saved;
+};
+
+ScopedFaults::ScopedFaults() : saved_(new State()) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  saved_->saved = std::move(Registry());
+  Registry() = RegistryState();
+  RecomputeActiveLocked();
+}
+
+ScopedFaults::~ScopedFaults() {
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Registry() = std::move(saved_->saved);
+    RecomputeActiveLocked();
+  }
+  delete saved_;
+}
+
+}  // namespace kf::fault

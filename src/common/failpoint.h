@@ -1,0 +1,137 @@
+// kf::fault — deterministic failpoint injection for I/O robustness
+// testing. Library code marks every fallible syscall site with a named
+// failpoint; tests (or the KF_FAULT environment variable) arm sites
+// with triggers that inject an errno or kill the process at a precise
+// hit. Everything is deterministic: nth-hit triggers count per site,
+// probabilistic triggers derive each decision from (seed, site, hit#),
+// so a seeded schedule replays identically across runs and processes.
+//
+// Cost contract: a disarmed site is ONE relaxed atomic load (the global
+// armed counter), no lock, no lookup — cheap enough for per-write-call
+// granularity on hot paths. Arming takes a registry mutex on the slow
+// path only.
+//
+// Activation grammar (KF_FAULT environment variable or ArmFromConfig):
+//
+//   KF_FAULT = spec (';' spec)*
+//   spec     = site '=' action trigger?
+//   action   = 'err' | 'kill' | 'eio' | 'enospc' | 'eintr' | 'eagain'
+//            | 'enoent' | 'eacces'            ('err' injects EIO)
+//   trigger  = '@' N          exactly the Nth hit (1-based)
+//            | '@' N '+'      every hit from the Nth on
+//            | '@' N '-' M    hits N through M inclusive
+//            | '*' N          the first N hits (same as @1-N)
+//            | '%' P [ '(seed=' S ')' ]   each hit fails with prob 1/P,
+//                                         decided by SplitMix64(S,site,hit)
+//   (no trigger)              every hit
+//
+// Examples: KF_FAULT="spill.write=err@3;store.mmap=err%7(seed=42)"
+//           KF_FAULT="atomic.rename=kill@1"  (crash-consistency tests)
+//
+// The 'kill' action calls _exit() at the hit — no destructors, no
+// stream flushes — simulating a crash at that syscall boundary for
+// fork-based crash-consistency suites.
+#ifndef KF_COMMON_FAILPOINT_H_
+#define KF_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kf::fault {
+
+/// One armed site's action + trigger. Defaults describe "fail every hit
+/// with EIO".
+struct FaultSpec {
+  enum class Action : uint8_t {
+    kError,  // Inject() returns `err`
+    kKill,   // _exit(kKillExitCode) at the triggering hit
+  };
+  Action action = Action::kError;
+  /// The errno Inject() returns when the trigger fires (kError only).
+  int err = 5;  // EIO
+  /// Hit-range trigger: fire on 1-based hits in [hit_from, hit_to].
+  /// hit_from == 0 means "no range trigger" (see one_in); hit_to == 0
+  /// with hit_from > 0 means "from hit_from on, forever".
+  uint64_t hit_from = 1;
+  uint64_t hit_to = 0;
+  /// Probability trigger: when > 0, each hit fires with probability
+  /// 1/one_in, decided deterministically from (seed, site, hit#). Takes
+  /// precedence over the hit range.
+  uint32_t one_in = 0;
+  uint64_t seed = 0;
+};
+
+/// Exit code of the 'kill' action (distinguishes an injected crash from
+/// an organic one in crash-test harnesses).
+inline constexpr int kKillExitCode = 42;
+
+/// True when any site is armed (or count-all observation is on). One
+/// relaxed load; the inline fast path of Inject().
+bool AnyArmed();
+
+/// Arms `site` with `spec`, replacing a previous arming and resetting
+/// its hit counter.
+void Arm(const std::string& site, const FaultSpec& spec);
+
+/// Disarms `site` (keeps its hit count readable until DisarmAll).
+void Disarm(const std::string& site);
+
+/// Disarms every site and clears all hit counters and observations.
+void DisarmAll();
+
+/// Parses the KF_FAULT grammar above and arms every spec in it.
+/// InvalidArgument on malformed input (nothing is armed on error).
+Status ArmFromConfig(std::string_view config);
+
+/// Hits observed at `site` since it was armed (or since SetCountAll
+/// turned observation on). 0 for never-hit sites.
+uint64_t Hits(const std::string& site);
+
+/// When on, every Inject() call is counted even at disarmed sites, so a
+/// harness can enumerate which sites a workload passes through (and how
+/// often) before arming kill-at-every-hit schedules.
+void SetCountAll(bool on);
+
+/// The (site, hit count) observations accumulated under SetCountAll
+/// and/or armed sites, sorted by site name.
+std::vector<std::pair<std::string, uint64_t>> CountedSites();
+
+/// RAII: snapshots and clears the whole registry (armed sites, counters,
+/// count-all flag) on construction, restores it on destruction. Lets a
+/// test arm its own schedule without clobbering an env-armed one.
+class ScopedFaults {
+ public:
+  ScopedFaults();
+  ~ScopedFaults();
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+ private:
+  struct State;
+  State* saved_;
+};
+
+namespace internal {
+/// Armed-site count plus the count-all flag; nonzero means Inject()
+/// must take the slow path.
+extern std::atomic<int> g_active;
+int InjectSlow(const char* site);
+}  // namespace internal
+
+/// The instrumentation point: returns 0 to proceed, or the errno to
+/// inject as if the syscall failed. Never returns when the triggering
+/// spec's action is kKill. Disarmed cost: one relaxed atomic load.
+inline int Inject(const char* site) {
+  if (internal::g_active.load(std::memory_order_relaxed) == 0) return 0;
+  return internal::InjectSlow(site);
+}
+
+}  // namespace kf::fault
+
+#endif  // KF_COMMON_FAILPOINT_H_

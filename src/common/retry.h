@@ -1,0 +1,48 @@
+// Bounded retry-with-backoff for transient I/O errors (EINTR / EAGAIN /
+// ENOSPC, per IsTransientIOError). Header-only; the policy bounds total
+// added latency at a few milliseconds by default, so callers on request
+// paths can retry without a budget review.
+#ifndef KF_COMMON_RETRY_H_
+#define KF_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kf {
+
+struct RetryPolicy {
+  /// Total tries, including the first (4 tries = up to 3 retries).
+  int max_attempts = 4;
+  /// Sleep before the first retry; each later retry multiplies it.
+  /// Defaults bound the total added sleep at 200+800+3200 = 4.2 ms.
+  int64_t initial_backoff_us = 200;
+  int backoff_multiplier = 4;
+};
+
+/// Runs `fn` (a callable returning Status) until it succeeds, fails with
+/// a non-transient error, or exhausts the policy. Every sleep-then-retry
+/// is counted into *retries when non-null (survives across calls — pass
+/// a running stats counter). Returns the last Status.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, uint64_t* retries, Fn&& fn) {
+  int64_t backoff_us = policy.initial_backoff_us;
+  Status st;
+  for (int attempt = 1;; ++attempt) {
+    st = fn();
+    if (st.ok() || !IsTransientIOError(st) ||
+        attempt >= policy.max_attempts) {
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us *= policy.backoff_multiplier;
+    if (retries != nullptr) ++*retries;
+  }
+}
+
+}  // namespace kf
+
+#endif  // KF_COMMON_RETRY_H_

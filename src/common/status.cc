@@ -1,5 +1,9 @@
 #include "common/status.h"
 
+#include <errno.h>
+
+#include <cstring>
+
 namespace kf {
 namespace {
 
@@ -31,6 +35,38 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+Status Status::FromErrno(std::string_view op, std::string_view path,
+                         int err) {
+  std::string msg;
+  msg.reserve(op.size() + path.size() + 40);
+  msg.append(op);
+  msg += ' ';
+  msg.append(path);
+  msg += ": ";
+  msg += std::strerror(err);
+  Status st(StatusCode::kIOError, std::move(msg));
+  st.errno_ = err;
+  return st;
+}
+
+Status Status::FromErrno(std::string_view op, std::string_view path) {
+  return FromErrno(op, path, errno);
+}
+
+bool IsTransientIOError(const Status& status) {
+  switch (status.raw_errno()) {
+    case EINTR:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOSPC:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace kf

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -49,9 +50,19 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
+  /// The one way to report a failed syscall: an IOError naming op, path,
+  /// and errno text ("open /tmp/x.kfs: No space left on device"), with
+  /// the raw errno retained for retry classification (IsTransientIOError).
+  static Status FromErrno(std::string_view op, std::string_view path,
+                          int err);
+  /// Same, reading the calling thread's current `errno`.
+  static Status FromErrno(std::string_view op, std::string_view path);
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// The errno behind a FromErrno status; 0 for every other status.
+  int raw_errno() const { return errno_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -59,7 +70,14 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int errno_ = 0;
 };
+
+/// True for errors worth a bounded retry: interrupted or would-block
+/// syscalls and out-of-space conditions that routinely clear (temp
+/// cleanup, log rotation). Classified from Status::raw_errno, so only
+/// FromErrno statuses can be transient.
+bool IsTransientIOError(const Status& status);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a programmer error (checked in debug builds).

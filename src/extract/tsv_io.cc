@@ -1,8 +1,10 @@
 #include "extract/tsv_io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace kf::extract {
@@ -159,26 +161,46 @@ std::string WriteResultsTsv(const TsvCorpus& corpus,
 }
 
 Status WriteFile(const std::string& path, const std::string& text) {
+  if (const int e = fault::Inject("tsv.write.open")) {
+    return Status::FromErrno("open", path, e);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  if (f == nullptr) return Status::FromErrno("open", path);
+  size_t written = 0;
+  if (const int e = fault::Inject("tsv.write.write")) {
+    // Model a partial write: the file exists and may hold a prefix.
+    std::fclose(f);
+    return Status::FromErrno("write", path, e);
+  }
+  written = std::fwrite(text.data(), 1, text.size(), f);
+  const int write_errno = errno;
+  if (std::fclose(f) != 0 && written == text.size()) {
+    return Status::FromErrno("close", path);
+  }
   if (written != text.size()) {
-    return Status::IOError("short write to " + path);
+    return Status::FromErrno("write", path, write_errno);
   }
   return Status::OK();
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  if (const int e = fault::Inject("tsv.read.open")) {
+    return Status::FromErrno("open", path, e);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (f == nullptr) return Status::FromErrno("open", path);
   std::string text;
   char buffer[1 << 16];
   size_t n;
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     text.append(buffer, n);
   }
+  // fread returning 0 means EOF or error; only ferror distinguishes a
+  // truncated read from a complete one.
+  const bool read_error =
+      std::ferror(f) != 0 || fault::Inject("tsv.read.read") != 0;
   std::fclose(f);
+  if (read_error) return Status::FromErrno("read", path, EIO);
   return text;
 }
 

@@ -229,6 +229,18 @@ void ClaimGraph::DetachShardColumns(size_t s) {
   sh.residency = ShardResidency::kEvicted;
 }
 
+void ClaimGraph::RematerializeShard(const extract::ExtractionDataset& dataset,
+                                    size_t s) {
+  Shard& sh = shards_[s];
+  KF_CHECK(sh.residency == ShardResidency::kEvicted);
+  // The rebuild is a pure function of (records, record_prov_), both
+  // always resident, so the columns come back bit-identical to what
+  // ReleaseShardColumns freed — prov_ids/prov_offsets and every count
+  // are overwritten with their current values, and the cross-index needs
+  // no re-accounting.
+  RebuildShard(dataset, &sh);
+}
+
 void ClaimGraph::AccumulateShardCounts(const Shard& shard, int sign) {
   for (size_t k = 0; k < shard.num_prov_segments(); ++k) {
     const uint32_t width = shard.prov_offsets[k + 1] - shard.prov_offsets[k];

@@ -238,6 +238,16 @@ class ClaimGraph {
   /// may then unmap it).
   void DetachShardColumns(size_t s);
 
+  /// kEvicted -> kResident: rebuilds the shard's spillable columns from
+  /// its always-resident record list, bit-identical to the columns that
+  /// were released (same dedup order, same values — the determinism the
+  /// rebuild path of Update() already guarantees). The spill layer's
+  /// corruption-recovery primitive: a quarantined shard file can be
+  /// discarded and its shard restored without any disk read. Counts and
+  /// the cross-index are unchanged, so no re-accounting happens.
+  void RematerializeShard(const extract::ExtractionDataset& dataset,
+                          size_t s);
+
   /// Shards the last Update() rebuilt (empty for an empty append). A
   /// rebuild always materializes the shard resident — the spill layer
   /// uses this list to invalidate stale spill files and re-account.

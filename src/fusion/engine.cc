@@ -654,7 +654,9 @@ FusionResult Fuse(const extract::ExtractionDataset& dataset,
     FuseContext ctx;
     ctx.gold = gold;
     KF_CHECK_OK((*fuser)->ValidateContext(dataset, options, ctx));
-    return (*fuser)->Run(dataset, options, ctx);
+    Result<FusionResult> result = (*fuser)->Run(dataset, options, ctx);
+    KF_CHECK_OK(result.status());
+    return std::move(result).value();
   }
   FusionEngine engine(dataset, options);
   return engine.Run(gold);

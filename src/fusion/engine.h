@@ -122,6 +122,14 @@ class FusionEngine {
   /// delta (see StageII). Releases the accumulators.
   double FinishStageII(double damping, double quantile);
 
+  /// Restores an evicted shard's columns resident, bit-identical to what
+  /// eviction released (ClaimGraph::RematerializeShard over the engine's
+  /// dataset). The spill layer's recovery path when a shard file turns
+  /// out corrupt or unreadable: discard the file, rebuild from memory.
+  void RematerializeShard(uint32_t s) {
+    graph_.RematerializeShard(dataset_, s);
+  }
+
   // ---- introspection ----
   const ClaimGraph& graph() const { return graph_; }
   /// Mutable graph access for the spill layer's residency control

@@ -57,10 +57,13 @@ class Fuser {
   }
 
   /// Cold fusion: (re)builds all internal state from scratch and runs the
-  /// method to convergence.
-  virtual FusionResult Run(const extract::ExtractionDataset& dataset,
-                           const FusionOptions& options,
-                           const FuseContext& ctx) = 0;
+  /// method to convergence. An error Status (I/O failure the budgeted
+  /// path could not recover from, see kf::spill's degradation ladder)
+  /// leaves the fuser with no usable warm state; callers must treat it
+  /// like a fuser that never ran.
+  virtual Result<FusionResult> Run(const extract::ExtractionDataset& dataset,
+                                   const FusionOptions& options,
+                                   const FuseContext& ctx) = 0;
 
   /// Whether Refuse() can warm-start from a previous Run().
   virtual bool SupportsWarmStart() const { return false; }

@@ -54,9 +54,9 @@ class EngineFuser : public Fuser {
     return CheckGold(dataset, options, ctx, /*gold_required=*/false);
   }
 
-  FusionResult Run(const extract::ExtractionDataset& dataset,
-                   const FusionOptions& options,
-                   const FuseContext& ctx) override {
+  Result<FusionResult> Run(const extract::ExtractionDataset& dataset,
+                           const FusionOptions& options,
+                           const FuseContext& ctx) override {
     FusionOptions opts = BaseEngineOptions(options);
     opts.method = method_;
     engine_.emplace(dataset, opts);
@@ -143,9 +143,9 @@ class FreeFnFuser : public Fuser {
     return validate_(dataset, options, ctx);
   }
 
-  FusionResult Run(const extract::ExtractionDataset& dataset,
-                   const FusionOptions& options,
-                   const FuseContext& ctx) override {
+  Result<FusionResult> Run(const extract::ExtractionDataset& dataset,
+                           const FusionOptions& options,
+                           const FuseContext& ctx) override {
     return run_(dataset, options, ctx);
   }
 

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "eval/calibration.h"
 #include "kb/value.h"
+#include "store/atomic_writer.h"
 #include "store/store.h"
 
 namespace kf {
@@ -432,7 +433,7 @@ std::string FusedKB::ToTsv() const {
 }
 
 Status FusedKB::ExportTsv(const std::string& path) const {
-  return extract::WriteFile(path, ToTsv());
+  return store::AtomicWriteFile(path, ToTsv());
 }
 
 Result<FusedKB> FusedKB::FromRows(const extract::FusedKbTsv& tsv) {
@@ -522,7 +523,7 @@ std::string FusedKB::ToBinary() const {
 }
 
 Status FusedKB::ExportBinary(const std::string& path) const {
-  return extract::WriteFile(path, ToBinary());
+  return store::AtomicWriteFile(path, ToBinary());
 }
 
 Result<FusedKB> FusedKB::FromBinary(std::string_view bytes) {

@@ -58,13 +58,22 @@ Result<KbSnapshotStats> KbServer::Publish() {
 
   // Cold first generation, warm re-fusion after: Refuse() re-syncs only
   // dirty shards and iterates until reconvergence.
+  // A failed (re)fuse publishes nothing: current_ and published_seqno_
+  // are untouched, so readers keep serving the last good generation and
+  // the writer can retry once the fault clears.
   Result<fusion::FusionResult> run =
       session_->can_refuse() ? session_->Refuse()
                              : session_->Fuse(options_.fusion);
-  if (!run.ok()) return run.status();
+  if (!run.ok()) {
+    ++publish_failures_;
+    return run.status();
+  }
 
   Result<FusedKB> kb = session_->Snapshot(options_.naming);
-  if (!kb.ok()) return kb.status();
+  if (!kb.ok()) {
+    ++publish_failures_;
+    return kb.status();
+  }
 
   auto snap = std::make_shared<KbSnapshot>();
   snap->kb_ = std::move(kb).value();
@@ -73,6 +82,11 @@ Result<KbSnapshotStats> KbServer::Publish() {
   snap->stats_.num_records = session_->dataset().num_records();
   snap->stats_.num_rounds = run->num_rounds;
   snap->stats_.build_micros = NowMicros() - start;
+  if (const spill::SpillStats* sp = session_->spill_stats()) {
+    snap->stats_.spill_transient_retries = sp->transient_retries;
+    snap->stats_.spill_shards_quarantined = sp->shards_quarantined;
+    snap->stats_.spill_resident_fallback = sp->resident_fallback;
+  }
 
   // Publish protocol (see header): the snapshot is complete before the
   // release store of the pointer, and the pointer is visible before the
@@ -134,6 +148,7 @@ KbServer::ServerStats KbServer::stats() const {
   {
     std::lock_guard<std::mutex> lock(writer_mu_);
     out.publishes = publishes_;
+    out.publish_failures = publish_failures_;
     out.total_build_micros = total_build_micros_;
   }
   if (KbSnapshotRef snap = Acquire()) out.current = snap->stats();

@@ -71,6 +71,15 @@ struct KbSnapshotStats {
   size_t num_rounds = 0;
   /// Wall time of the producing run: (re)fuse + snapshot + index build.
   int64_t build_micros = 0;
+
+  // ---- fault recovery of the producing run (zero for resident runs) ----
+  /// Transient spill I/O errors absorbed by retry-with-backoff.
+  uint64_t spill_transient_retries = 0;
+  /// Corrupt/unreadable spill files quarantined and rebuilt from memory.
+  size_t spill_shards_quarantined = 0;
+  /// The producing run finished fully resident after its spill
+  /// destination died mid-run (budget waived, result still bit-identical).
+  bool spill_resident_fallback = false;
 };
 
 /// One published generation: an immutable FusedKB plus its stats. Never
@@ -176,6 +185,10 @@ class KbServer {
 
   struct ServerStats {
     uint64_t publishes = 0;
+    /// Publish() calls that returned an error. Nothing was published on
+    /// those: readers kept (and keep) the last good generation, and the
+    /// writer may simply retry.
+    uint64_t publish_failures = 0;
     /// Sum of all generations' build_micros.
     int64_t total_build_micros = 0;
     /// Stats of the current generation (seqno 0 when none published).
@@ -226,6 +239,7 @@ class KbServer {
   mutable std::mutex writer_mu_;
   std::unique_ptr<Session> session_;
   uint64_t publishes_ = 0;
+  uint64_t publish_failures_ = 0;
   int64_t total_build_micros_ = 0;
 
   /// The published generation. Accessed ONLY through the atomic

@@ -71,9 +71,27 @@ Result<fusion::FusionResult> Session::Fuse(
     method_ = name;
     budgeted_ = budgeted;
   }
-  last_ = fuser_->Run(*dataset_, options, ctx);
+  Result<fusion::FusionResult> run = fuser_->Run(*dataset_, options, ctx);
+  if (!run.ok()) {
+    // An unrecoverable failure (the spill layer's degradation ladder ran
+    // dry) leaves the fuser mid-rebuild; drop every trace of it so
+    // Refuse/Snapshot cannot read a half-built engine. The session is
+    // back to its pre-first-Fuse state and a retry starts cold.
+    fuser_.reset();
+    last_.reset();
+    method_.clear();
+    budgeted_ = false;
+    return run.status();
+  }
+  last_ = std::move(run).value();
   fused_records_ = dataset_->num_records();
   return *last_;
+}
+
+const spill::SpillStats* Session::spill_stats() const {
+  const auto* ooc =
+      dynamic_cast<const spill::OutOfCoreIntrospection*>(fuser_.get());
+  return ooc ? &ooc->spill_stats() : nullptr;
 }
 
 Status Session::Append(

@@ -32,6 +32,7 @@
 #include "fusion/options.h"
 #include "kb/value_hierarchy.h"
 #include "kf/fused_kb.h"
+#include "spill/spill.h"
 
 namespace kf {
 
@@ -125,6 +126,10 @@ class Session {
   size_t pending_records() const {
     return dataset_->num_records() - fused_records_;
   }
+  /// Spill-layer counters of the warm fuser (retries absorbed, shards
+  /// quarantined and rebuilt, resident fallback — see spill::SpillStats).
+  /// Null when the session has no fuser or the last run was not budgeted.
+  const spill::SpillStats* spill_stats() const;
 
  private:
   Session(std::optional<extract::ExtractionDataset> owned,

@@ -6,8 +6,10 @@
 // those primitives are bit-identical to the one-shot sweeps for any
 // disjoint subset decomposition, the fuser's results are bit-identical
 // to EngineFuser's for every budget and worker count.
+#include <functional>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/memprobe.h"
 #include "common/string_util.h"
@@ -46,14 +48,16 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
       return Status::InvalidArgument(
           "out-of-core fusion requires memory_budget_bytes > 0");
     }
-    // Surface spill-destination problems as a Status here; Run() treats
-    // spill IO failures as aborts (FusionResult carries no Status).
+    // Surface spill-destination problems as a Status before any work;
+    // faults that strike mid-run go through the manager's degradation
+    // ladder (retry → quarantine+rematerialize → resident fallback) and
+    // only reach the caller as a Status when every rung fails.
     return ProbeSpillDir(options.spill_dir);
   }
 
-  FusionResult Run(const extract::ExtractionDataset& dataset,
-                   const FusionOptions& options,
-                   const FuseContext& ctx) override {
+  Result<FusionResult> Run(const extract::ExtractionDataset& dataset,
+                           const FusionOptions& options,
+                           const FuseContext& ctx) override {
     FusionOptions opts = options;
     opts.method_name.clear();
     opts.method = method_;
@@ -69,11 +73,10 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
     ShardSpillManager::Options mo;
     mo.budget_bytes = opts.memory_budget_bytes;
     mo.spill_dir = opts.spill_dir;
+    mo.rematerialize = MakeRematerializeHook();
     Result<std::unique_ptr<ShardSpillManager>> mgr =
         ShardSpillManager::Create(&engine_->mutable_graph(), mo);
-    // ValidateContext probed the destination; failing here means the
-    // environment changed mid-call — a crash, not a recoverable state.
-    KF_CHECK_OK(mgr.status());
+    if (!mgr.ok()) return mgr.status();
     manager_ = std::move(*mgr);
     plan_ = PlanSubsets(engine_->graph(), opts.memory_budget_bytes);
 
@@ -81,7 +84,7 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
     const bool is_vote = method_ == fusion::Method::kVote;
     const size_t max_rounds = is_vote ? 1 : opts.max_rounds;
     for (size_t round = 1; round <= max_rounds; ++round) {
-      RunRound(round, is_vote, &result, &rss);
+      KF_RETURN_IF_ERROR(RunRound(round, is_vote, &result, &rss));
       result.num_rounds = round;
       if (is_vote) break;
       const double delta = engine_->FinishStageII(
@@ -90,8 +93,9 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
     }
     result.num_unevaluated_provenances = CountUnevaluated();
     // End state: every shard on disk and mapped, so Snapshot /
-    // ForEachClaim read zero-copy while the columns stay reclaimable.
-    KF_CHECK_OK(manager_->MapAll());
+    // ForEachClaim read zero-copy while the columns stay reclaimable
+    // (or fully resident when the run degraded).
+    KF_RETURN_IF_ERROR(manager_->MapAll());
     rss.Sample();
     peak_rss_ = rss.PeakBytes();
     rounds_run_ = result.num_rounds;
@@ -139,7 +143,7 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
       // Continue the global round numbering so round-dependent behavior
       // (the coverage filter's prefer-evaluated switch) stays in its
       // post-round-1 regime.
-      RunRound(rounds_run_ + round, is_vote, &result, &rss);
+      KF_RETURN_IF_ERROR(RunRound(rounds_run_ + round, is_vote, &result, &rss));
       result.num_rounds = round;
       if (is_vote) break;
       const double delta = engine_->FinishStageII(damping, quantile);
@@ -149,7 +153,7 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
     }
     rounds_run_ += result.num_rounds;
     result.num_unevaluated_provenances = CountUnevaluated();
-    KF_CHECK_OK(manager_->MapAll());
+    KF_RETURN_IF_ERROR(manager_->MapAll());
     rss.Sample();
     peak_rss_ = rss.PeakBytes();
     return result;
@@ -164,21 +168,38 @@ class OutOfCoreFuser : public fusion::Fuser, public OutOfCoreIntrospection {
   size_t round_loop_peak_rss() const override { return peak_rss_; }
 
  private:
+  /// The manager's recovery hook: rebuilds an evicted shard's columns
+  /// bit-identical from the engine's always-resident record lists. A
+  /// failpoint site of its own so tests can exhaust the whole ladder
+  /// (spill.remat armed = even recovery fails → clean Status).
+  std::function<Status(uint32_t)> MakeRematerializeHook() {
+    return [this](uint32_t s) -> Status {
+      if (const int e = fault::Inject("spill.remat")) {
+        return Status::FromErrno("rematerialize shard",
+                                 StrFormat("%u", s), e);
+      }
+      engine_->RematerializeShard(s);
+      return Status::OK();
+    };
+  }
+
   /// One budgeted round: freeze the Stage I tables, then sweep and (for
   /// iterative methods) accumulate Stage II subset-by-subset. A shard's
   /// Stage II segments reference only that shard's triples, so the
   /// accumulation can ride each subset's sweep instead of a second pass
-  /// over the shard files.
-  void RunRound(size_t round, bool is_vote, FusionResult* result,
-                PeakRssTracker* rss) {
+  /// over the shard files. An error means the manager's degradation
+  /// ladder ran dry — the run cannot produce a result.
+  Status RunRound(size_t round, bool is_vote, FusionResult* result,
+                  PeakRssTracker* rss) {
     engine_->BeginStageI(round, result);
     if (!is_vote) engine_->BeginStageII(*result);
     for (const std::vector<uint32_t>& subset : plan_.subsets) {
-      KF_CHECK_OK(manager_->EnsureOnly(subset));
+      KF_RETURN_IF_ERROR(manager_->EnsureOnly(subset));
       engine_->SweepStageI(subset, result);
       if (!is_vote) engine_->AccumulateStageII(subset, *result);
       rss->Sample();
     }
+    return Status::OK();
   }
 
   size_t CountUnevaluated() const {

@@ -11,9 +11,12 @@
 #include <numeric>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "extract/tsv_io.h"
+#include "store/atomic_writer.h"
 
 namespace kf::spill {
 
@@ -22,11 +25,11 @@ namespace {
 /// Creates `dir` if missing and fails cleanly if the path exists but is
 /// not a directory.
 Status EnsureDirectory(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
-  if (errno != EEXIST) {
-    return Status::IOError(StrFormat("spill: cannot create directory %s: %s",
-                                     dir.c_str(), std::strerror(errno)));
+  if (const int e = fault::Inject("spill.mkdir")) {
+    return Status::FromErrno("mkdir", dir, e);
   }
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
+  if (errno != EEXIST) return Status::FromErrno("mkdir", dir);
   struct stat st;
   if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
     return Status::IOError(StrFormat(
@@ -37,14 +40,16 @@ Status EnsureDirectory(const std::string& dir) {
 
 /// A short write-then-unlink round trip: surfaces a read-only or
 /// quota-exhausted directory as a Status before any shard is spilled.
+/// The probe file is unlinked on EVERY path — a failed WriteFile may
+/// still have created (and partially filled) it.
 Status ProbeWritable(const std::string& dir) {
   const std::string probe = dir + "/.kf-spill-probe";
   Status st = extract::WriteFile(probe, "kf");
+  ::unlink(probe.c_str());
   if (!st.ok()) {
     return Status::IOError(StrFormat("spill: directory %s is not writable: %s",
                                      dir.c_str(), st.message().c_str()));
   }
-  ::unlink(probe.c_str());
   return Status::OK();
 }
 
@@ -52,11 +57,13 @@ Result<std::string> MakeTempDir() {
   const char* base = ::getenv("TMPDIR");
   std::string templ = (base != nullptr && base[0] != '\0') ? base : "/tmp";
   templ += "/kf-spill-XXXXXX";
+  if (const int e = fault::Inject("spill.mkdtemp")) {
+    return Status::FromErrno("mkdtemp", templ, e);
+  }
   std::vector<char> buf(templ.begin(), templ.end());
   buf.push_back('\0');
   if (::mkdtemp(buf.data()) == nullptr) {
-    return Status::IOError(StrFormat("spill: mkdtemp(%s): %s", templ.c_str(),
-                                     std::strerror(errno)));
+    return Status::FromErrno("mkdtemp", templ);
   }
   return std::string(buf.data());
 }
@@ -174,6 +181,7 @@ Result<std::unique_ptr<ShardSpillManager>> ShardSpillManager::Create(
   }
   std::unique_ptr<ShardSpillManager> mgr(new ShardSpillManager());
   mgr->graph_ = graph;
+  mgr->options_ = options;
   if (options.spill_dir.empty()) {
     Result<std::string> dir = MakeTempDir();
     if (!dir.ok()) return dir.status();
@@ -217,7 +225,18 @@ Status ShardSpillManager::WriteShard(uint32_t s) {
   const fusion::ShardColumns cols = graph_->columns(s);
   const std::string image =
       store::BuildShardFile(ToFileColumns(s, cols));
-  KF_RETURN_IF_ERROR(extract::WriteFile(ShardPath(s), image));
+  const std::string path = ShardPath(s);
+  // Transient errors (EINTR/EAGAIN/ENOSPC) get a bounded retry before
+  // the caller's degradation ladder takes over. AtomicWriteFile keeps
+  // the destination old-or-new across every attempt, so retries never
+  // see a torn file.
+  KF_RETURN_IF_ERROR(
+      RetryTransient(RetryPolicy{}, &stats_.transient_retries, [&] {
+        if (const int e = fault::Inject("spill.write")) {
+          return Status::FromErrno("write shard", path, e);
+        }
+        return store::AtomicWriteFile(path, image);
+      }));
   file_valid_[s] = 1;
   ++stats_.files_written;
   stats_.bytes_written += image.size();
@@ -226,20 +245,90 @@ Status ShardSpillManager::WriteShard(uint32_t s) {
 
 Status ShardSpillManager::AttachShard(uint32_t s) {
   KF_CHECK(file_valid_[s]);  // evicted shards always have a current file
-  Result<store::ShardMmapView> view = store::ShardMmapView::Open(ShardPath(s));
-  if (!view.ok()) return view.status();
-  if (view->columns().shard_id != s) {
-    return Status::InvalidArgument(
-        StrFormat("spill: %s holds shard %llu, expected %u",
-                  ShardPath(s).c_str(),
-                  static_cast<unsigned long long>(view->columns().shard_id),
-                  s));
+  const std::string path = ShardPath(s);
+  store::ShardMmapView view;
+  Status st = RetryTransient(RetryPolicy{}, &stats_.transient_retries, [&] {
+    if (const int e = fault::Inject("spill.attach")) {
+      return Status::FromErrno("open shard", path, e);
+    }
+    Result<store::ShardMmapView> opened = store::ShardMmapView::Open(path);
+    if (!opened.ok()) return opened.status();
+    view = std::move(*opened);
+    return Status::OK();
+  });
+  // Validate beyond the container's own CRC/layout checks: the file must
+  // hold THIS shard with the counts the graph remembers. A mismatch is
+  // corruption (or a swapped file), not a usable attachment — checked
+  // here so it lands on the quarantine path instead of the KF_CHECK in
+  // AttachShardColumns.
+  if (st.ok()) {
+    const auto& sh = graph_->shard(s);
+    if (view.columns().shard_id != s ||
+        view.columns().num_items() != sh.num_items() ||
+        view.columns().num_claims() != sh.num_claims()) {
+      st = Status::InvalidArgument(
+          StrFormat("spill: %s does not hold shard %u with the expected "
+                    "column counts",
+                    path.c_str(), s));
+    }
   }
-  maps_[s] = std::move(*view);
-  // AttachShardColumns cross-checks the counts against the evicted
-  // shard's remembered sizes, so a swapped file cannot attach.
+  if (!st.ok()) {
+    // Quarantine: the file is unusable — drop it so nothing re-reads it,
+    // then rebuild the shard from its always-resident record list. The
+    // rebuilt columns are bit-identical to the spilled ones, so the run
+    // carries on as if the fault never happened (it just re-spills the
+    // shard the next time it goes cold).
+    ::unlink(path.c_str());
+    file_valid_[s] = 0;
+    ++stats_.shards_quarantined;
+    if (!options_.rematerialize) {
+      return Status(st.code(),
+                    st.message() + " (no rematerialize hook to recover with)");
+    }
+    KF_RETURN_IF_ERROR(options_.rematerialize(s));
+    ++stats_.shards_rematerialized;
+    return Status::OK();
+  }
+  maps_[s] = std::move(view);
   graph_->AttachShardColumns(s, ToGraphColumns(maps_[s].columns()));
   ++stats_.maps_opened;
+  return Status::OK();
+}
+
+Status ShardSpillManager::DegradeToResident(const Status& cause) {
+  if (!options_.rematerialize) {
+    return Status(cause.code(),
+                  cause.message() +
+                      " (no rematerialize hook; cannot degrade to resident)");
+  }
+  // Budget waiver: bring every shard back resident from memory, drop all
+  // mappings and files, and stop touching the (dead) spill destination
+  // for good. The result bits are unaffected — rematerialized columns
+  // are identical to the spilled ones.
+  const size_t n = graph_->num_shards();
+  for (uint32_t s = 0; s < n; ++s) {
+    switch (graph_->shard_residency(s)) {
+      case fusion::ShardResidency::kResident:
+        break;
+      case fusion::ShardResidency::kMapped:
+        graph_->DetachShardColumns(s);
+        maps_[s] = store::ShardMmapView();
+        KF_RETURN_IF_ERROR(options_.rematerialize(s));
+        ++stats_.shards_rematerialized;
+        break;
+      case fusion::ShardResidency::kEvicted:
+        KF_RETURN_IF_ERROR(options_.rematerialize(s));
+        ++stats_.shards_rematerialized;
+        break;
+    }
+    ::unlink(ShardPath(s).c_str());
+    file_valid_[s] = 0;
+  }
+  degraded_ = true;
+  stats_.resident_fallback = true;
+  // Deliberately excluded from the high-water mark: the budget is waived
+  // from here on, and the accounted bytes now reflect the full graph.
+  RecountAccounted(/*update_high_water=*/false);
   return Status::OK();
 }
 
@@ -266,19 +355,29 @@ Status ShardSpillManager::EnsureOnly(const std::vector<uint32_t>& subset) {
     KF_CHECK(s < n);
     want[s] = 1;
   }
+  // Budget already waived: everything is resident and stays that way.
+  if (degraded_) return Status::OK();
   // Evict first, then map: accounted bytes peak at
   // max(previous subset, new subset), never their sum.
   for (uint32_t s = 0; s < n; ++s) {
     if (want[s]) continue;
     if (graph_->shard_residency(s) == fusion::ShardResidency::kResident &&
         !file_valid_[s]) {
-      KF_RETURN_IF_ERROR(WriteShard(s));
+      Status write = WriteShard(s);
+      if (!write.ok()) {
+        // A write that survived its retries means the destination is
+        // gone (full disk, yanked mount): waive the budget and finish
+        // the run fully resident rather than failing it.
+        return DegradeToResident(write);
+      }
     }
     EvictShard(s);
   }
   for (uint32_t s = 0; s < n; ++s) {
     if (want[s] &&
         graph_->shard_residency(s) == fusion::ShardResidency::kEvicted) {
+      // AttachShard recovers corrupt/unreadable files itself (quarantine
+      // + rematerialize); an error here means the ladder ran dry.
       KF_RETURN_IF_ERROR(AttachShard(s));
     }
   }
@@ -287,18 +386,39 @@ Status ShardSpillManager::EnsureOnly(const std::vector<uint32_t>& subset) {
 }
 
 Status ShardSpillManager::MapAll() {
+  // Degraded: the end-of-run state is fully resident instead of fully
+  // mapped — columns equally readable, just not file-backed.
+  if (degraded_) return Status::OK();
   const size_t n = graph_->num_shards();
   // Spill every still-resident shard, then attach everything: all
   // columns readable, all backing pages file-backed and reclaimable.
   for (uint32_t s = 0; s < n; ++s) {
     if (graph_->shard_residency(s) == fusion::ShardResidency::kResident) {
-      if (!file_valid_[s]) KF_RETURN_IF_ERROR(WriteShard(s));
+      if (!file_valid_[s]) {
+        Status write = WriteShard(s);
+        if (!write.ok()) return DegradeToResident(write);
+      }
       graph_->ReleaseShardColumns(s);
       ++stats_.shards_evicted;
     }
   }
   for (uint32_t s = 0; s < n; ++s) {
     if (graph_->shard_residency(s) == fusion::ShardResidency::kEvicted) {
+      KF_RETURN_IF_ERROR(AttachShard(s));
+    }
+  }
+  // One repair pass: a shard whose file was quarantined during attach
+  // came back resident with no current file — re-spill and re-attach it
+  // so the end state is uniformly mapped. A second quarantine of the
+  // same freshly-written file leaves the shard resident (columns still
+  // readable; only MergeTo insists on files).
+  for (uint32_t s = 0; s < n; ++s) {
+    if (graph_->shard_residency(s) == fusion::ShardResidency::kResident &&
+        !file_valid_[s]) {
+      Status write = WriteShard(s);
+      if (!write.ok()) return DegradeToResident(write);
+      graph_->ReleaseShardColumns(s);
+      ++stats_.shards_evicted;
       KF_RETURN_IF_ERROR(AttachShard(s));
     }
   }
@@ -324,6 +444,11 @@ void ShardSpillManager::Reconcile() {
 }
 
 Status ShardSpillManager::MergeTo(const std::string& path) {
+  if (degraded_) {
+    return Status::FailedPrecondition(
+        "spill: the run degraded to fully-resident execution (spill "
+        "destination unusable); no shard files exist to merge");
+  }
   std::vector<std::string> inputs;
   inputs.reserve(graph_->num_shards());
   for (uint32_t s = 0; s < graph_->num_shards(); ++s) {

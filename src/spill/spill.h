@@ -31,6 +31,7 @@
 #ifndef KF_SPILL_SPILL_H_
 #define KF_SPILL_SPILL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,20 @@ struct SpillStats {
   size_t bytes_written = 0;      // file bytes written
   size_t maps_opened = 0;        // mmap attach count (re-maps included)
   size_t shards_evicted = 0;     // release/detach transitions
+
+  // ---- fault recovery (the degradation ladder, rung by rung) ----
+  /// Transient I/O errors (EINTR/EAGAIN/ENOSPC) absorbed by the bounded
+  /// retry-with-backoff around shard writes and attaches.
+  uint64_t transient_retries = 0;
+  /// Shard files discarded as corrupt or unreadable after retries.
+  size_t shards_quarantined = 0;
+  /// Shards rebuilt resident from their always-resident record lists
+  /// (quarantine recovery and resident-fallback restores).
+  size_t shards_rematerialized = 0;
+  /// The budget was waived mid-run: the spill destination became
+  /// unusable, every shard was rematerialized, and the run finished
+  /// fully resident (bit-identical result, budget no longer enforced).
+  bool resident_fallback = false;
 };
 
 /// Owns the spill directory and the per-shard file + mapping lifecycle
@@ -90,6 +105,14 @@ class ShardSpillManager {
     /// manager). Non-empty: created if missing, files are removed with
     /// the manager but the directory itself is kept.
     std::string spill_dir;
+    /// Recovery hook: rebuilds evicted shard `s`'s columns resident,
+    /// bit-identical to what eviction released (the fuser wires this to
+    /// FusionEngine::RematerializeShard). With it set, a corrupt or
+    /// unreadable shard file is quarantined and the shard rebuilt, and a
+    /// dead spill destination degrades the run to fully-resident
+    /// execution instead of failing. Null: every unrecovered I/O error
+    /// propagates as a Status.
+    std::function<Status(uint32_t)> rematerialize;
   };
 
   /// Validates options, creates (or claims) the spill directory, and
@@ -128,14 +151,28 @@ class ShardSpillManager {
 
   const SpillStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
+  /// True after the manager waived the budget (see
+  /// SpillStats::resident_fallback): every shard is resident, EnsureOnly
+  /// and MapAll are no-ops, MergeTo is a FailedPrecondition.
+  bool degraded() const { return degraded_; }
 
  private:
   ShardSpillManager() = default;
 
   /// Writes shard `s`'s columns to its file (overwriting a stale copy).
+  /// Transient errors are retried with backoff before failing.
   Status WriteShard(uint32_t s);
   /// Opens + validates shard `s`'s file and attaches the mapping.
+  /// Transient open errors are retried; a corrupt, swapped, or
+  /// persistently unreadable file is quarantined (unlinked, file_valid_
+  /// cleared) and the shard rematerialized when the recovery hook is
+  /// set.
   Status AttachShard(uint32_t s);
+  /// The last rung of the ladder: rematerializes every evicted shard,
+  /// drops all mappings and files, and waives the budget for the rest
+  /// of the run. Fails (leaving the manager unusable) only when the
+  /// recovery hook is unset or itself fails.
+  Status DegradeToResident(const Status& cause);
   /// Releases or detaches shard `s` (no-op when already evicted).
   void EvictShard(uint32_t s);
   std::string ShardPath(uint32_t s) const;
@@ -145,8 +182,11 @@ class ShardSpillManager {
   void RemoveFilesBestEffort();
 
   fusion::ClaimGraph* graph_ = nullptr;
+  Options options_;
   std::string dir_;
   bool owns_dir_ = false;
+  /// Budget waived: fully-resident execution until the manager dies.
+  bool degraded_ = false;
   /// Per shard: whether the on-disk file matches the current columns.
   std::vector<uint8_t> file_valid_;
   /// Per shard: the live mapping backing a kMapped attachment.

@@ -1,0 +1,166 @@
+#include "store/atomic_writer.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace kf::store {
+
+namespace {
+
+/// The parent directory of `path`, for the post-rename directory fsync
+/// that makes the new directory entry durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  if (const int e = fault::Inject("atomic.dirsync")) {
+    return Status::FromErrno("fsync directory", dir, e);
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) return Status::FromErrno("open directory", dir);
+  if (::fsync(dfd) != 0) {
+    const Status st = Status::FromErrno("fsync directory", dir);
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
+  AtomicFileWriter w;
+  w.path_ = path;
+  w.tmp_path_ =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  if (const int e = fault::Inject("atomic.open")) {
+    return Status::FromErrno("open", w.tmp_path_, e);
+  }
+  w.fd_ = ::open(w.tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (w.fd_ < 0) return Status::FromErrno("open", w.tmp_path_);
+  return w;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fd_(other.fd_) {
+  other.fd_ = -1;
+  other.tmp_path_.clear();
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    other.tmp_path_.clear();
+  }
+  return *this;
+}
+
+Status AtomicFileWriter::Append(std::string_view bytes) {
+  KF_CHECK(fd_ >= 0);
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    size_t chunk = left;
+    // Failpoint: the kernel accepted only part of this write() — the
+    // loop must carry on from the short count, not error or re-send.
+    if (fault::Inject("atomic.write.short") != 0 && chunk > 1) chunk /= 2;
+    if (const int e = fault::Inject("atomic.write")) {
+      const Status st = Status::FromErrno("write", tmp_path_, e);
+      Abandon();
+      return st;
+    }
+    const ssize_t n = ::write(fd_, p, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted before any byte: re-issue
+      const Status st = Status::FromErrno("write", tmp_path_);
+      Abandon();
+      return st;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  KF_CHECK(fd_ >= 0);
+  if (const int e = fault::Inject("atomic.fsync")) {
+    const Status st = Status::FromErrno("fsync", tmp_path_, e);
+    Abandon();
+    return st;
+  }
+  if (::fsync(fd_) != 0) {
+    const Status st = Status::FromErrno("fsync", tmp_path_);
+    Abandon();
+    return st;
+  }
+  if (const int e = fault::Inject("atomic.close")) {
+    const Status st = Status::FromErrno("close", tmp_path_, e);
+    Abandon();
+    return st;
+  }
+  if (::close(fd_) != 0) {
+    const Status st = Status::FromErrno("close", tmp_path_);
+    fd_ = -1;  // closed even on error; don't close again
+    Abandon();
+    return st;
+  }
+  fd_ = -1;
+  if (const int e = fault::Inject("atomic.rename")) {
+    const Status st = Status::FromErrno("rename", tmp_path_, e);
+    Abandon();
+    return st;
+  }
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const Status st = Status::FromErrno("rename", tmp_path_);
+    Abandon();
+    return st;
+  }
+  // The rename is the commit point: from here the new file is visible
+  // and whole. The directory fsync only upgrades it from visible to
+  // durable, so its failure reports an error without rolling back.
+  tmp_path_.clear();
+  return SyncParentDir(path_);
+}
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!tmp_path_.empty()) {
+    ::unlink(tmp_path_.c_str());
+    tmp_path_.clear();
+  }
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  Result<AtomicFileWriter> writer = AtomicFileWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  KF_RETURN_IF_ERROR(writer->Append(bytes));
+  return writer->Commit();
+}
+
+}  // namespace kf::store

@@ -1,0 +1,65 @@
+// store::AtomicFileWriter — crash-safe file replacement. The durability
+// contract every kf writer (corpus/KB images, shard spill files, TSV
+// exports) gets by routing through here:
+//
+//   write <path>.tmp.<pid>  →  fsync(tmp)  →  rename(tmp, path)
+//   →  fsync(parent dir)
+//
+// A reader of <path> therefore sees either the previous complete file
+// or the new complete file — never a torn mix — no matter where the
+// writer crashes (the crash-consistency suite kills the write at every
+// failpoint and asserts exactly this). On any error the temp file is
+// unlinked and the destination is untouched.
+//
+// Every syscall is a kf::fault failpoint site (atomic.open,
+// atomic.write, atomic.write.short, atomic.fsync, atomic.close,
+// atomic.rename, atomic.dirsync), so tests can inject ENOSPC, short
+// writes, or a crash at each boundary.
+#ifndef KF_STORE_ATOMIC_WRITER_H_
+#define KF_STORE_ATOMIC_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kf::store {
+
+class AtomicFileWriter {
+ public:
+  /// Opens <path>.tmp.<pid> for writing (creating or truncating it).
+  static Result<AtomicFileWriter> Open(const std::string& path);
+
+  AtomicFileWriter() = default;
+  /// Abandons (unlinks the temp file) if never committed.
+  ~AtomicFileWriter();
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `bytes` to the temp file, absorbing short writes and EINTR.
+  Status Append(std::string_view bytes);
+
+  /// fsync(tmp) → close → rename onto the destination → fsync(dir).
+  /// After OK the new file is visible and durable. On error the temp
+  /// file is removed and the destination is untouched (rename is the
+  /// atomic commit point; only a dirsync failure can leave the new file
+  /// visible-but-not-yet-durable, still whole either way).
+  Status Commit();
+
+  /// Unlinks the temp file and leaves the destination untouched.
+  void Abandon();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+};
+
+/// One-shot convenience: atomically replace `path`'s contents.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace kf::store
+
+#endif  // KF_STORE_ATOMIC_WRITER_H_

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/varint.h"
 
@@ -376,17 +377,16 @@ MmapFile::~MmapFile() {
 }
 
 Result<MmapFile> MmapFile::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IOError(
-        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
+  if (const int e = fault::Inject("store.mmap")) {
+    return Status::FromErrno("open", path, e);
   }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::FromErrno("open", path);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    const int err = errno;
+    const Status status = Status::FromErrno("stat", path);
     ::close(fd);
-    return Status::IOError(
-        StrFormat("cannot stat %s: %s", path.c_str(), std::strerror(err)));
+    return status;
   }
   MmapFile mapped;
   mapped.size_ = static_cast<size_t>(st.st_size);
@@ -399,10 +399,7 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
   }
   void* addr = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);
-  if (addr == MAP_FAILED) {
-    return Status::IOError(
-        StrFormat("cannot mmap %s: %s", path.c_str(), std::strerror(errno)));
-  }
+  if (addr == MAP_FAILED) return Status::FromErrno("mmap", path);
   mapped.addr_ = addr;
   return mapped;
 }

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "extract/tsv_io.h"
+#include "store/atomic_writer.h"
 
 namespace kf::store {
 
@@ -80,7 +81,7 @@ std::string BuildShardFile(const ShardFileColumns& cols) {
 
 Status WriteShardFile(const ShardFileColumns& cols,
                       const std::string& path) {
-  return extract::WriteFile(path, BuildShardFile(cols));
+  return AtomicWriteFile(path, BuildShardFile(cols));
 }
 
 Result<ShardFileColumns> ReadShardColumns(const BlockFile& file,
@@ -214,7 +215,7 @@ Status ConcatShardFiles(const std::vector<std::string>& input_paths,
   }
   Result<std::string> bundle = BuildShardBundle(images);
   if (!bundle.ok()) return bundle.status();
-  return extract::WriteFile(out_path, *bundle);
+  return AtomicWriteFile(out_path, *bundle);
 }
 
 Result<ShardBundleView> ShardBundleView::Parse(std::string_view bytes) {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "kb/value.h"
+#include "store/atomic_writer.h"
 
 namespace kf::store {
 namespace {
@@ -348,7 +349,7 @@ std::string WriteCorpus(const extract::TsvCorpus& corpus) {
 
 Status WriteCorpusFile(const extract::TsvCorpus& corpus,
                        const std::string& path) {
-  return extract::WriteFile(path, WriteCorpus(corpus));
+  return AtomicWriteFile(path, WriteCorpus(corpus));
 }
 
 Result<CorpusView> CorpusView::Parse(std::string_view bytes) {
@@ -777,7 +778,7 @@ std::string WriteFusedKb(const extract::FusedKbTsv& kb) {
 
 Status WriteFusedKbFile(const extract::FusedKbTsv& kb,
                         const std::string& path) {
-  return extract::WriteFile(path, WriteFusedKb(kb));
+  return AtomicWriteFile(path, WriteFusedKb(kb));
 }
 
 Result<FusedKbView> FusedKbView::Parse(std::string_view bytes) {

@@ -1,0 +1,194 @@
+// kf::fault contract tests: trigger semantics (nth-hit, ranges, first-N,
+// seeded probability), the KF_FAULT grammar (including every malformed
+// form rejecting cleanly with nothing armed), ScopedFaults isolation,
+// count-all site enumeration, and the kill action's _exit(42).
+#include "common/failpoint.h"
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kf::fault {
+namespace {
+
+/// Hits `site` `n` times and returns the injected errnos (0 = passed).
+std::vector<int> Drive(const char* site, int n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(Inject(site));
+  return out;
+}
+
+TEST(FailpointTest, DisarmedInjectsNothing) {
+  ScopedFaults scope;
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(Drive("test.site", 5), (std::vector<int>{0, 0, 0, 0, 0}));
+  // Disarmed sites are not even counted (the fast path never looks).
+  EXPECT_EQ(Hits("test.site"), 0u);
+}
+
+TEST(FailpointTest, DefaultSpecFiresEveryHitWithEIO) {
+  ScopedFaults scope;
+  Arm("test.site", FaultSpec{});
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_EQ(Drive("test.site", 3), (std::vector<int>{EIO, EIO, EIO}));
+  EXPECT_EQ(Hits("test.site"), 3u);
+  // Other sites are unaffected.
+  EXPECT_EQ(Inject("test.other"), 0);
+}
+
+TEST(FailpointTest, NthHitFiresExactlyOnce) {
+  ScopedFaults scope;
+  FaultSpec spec;
+  spec.hit_from = 3;
+  spec.hit_to = 3;
+  spec.err = ENOSPC;
+  Arm("test.site", spec);
+  EXPECT_EQ(Drive("test.site", 5), (std::vector<int>{0, 0, ENOSPC, 0, 0}));
+}
+
+TEST(FailpointTest, FromNthOnFiresForever) {
+  ScopedFaults scope;
+  FaultSpec spec;
+  spec.hit_from = 2;
+  spec.hit_to = 0;  // open-ended
+  Arm("test.site", spec);
+  EXPECT_EQ(Drive("test.site", 4), (std::vector<int>{0, EIO, EIO, EIO}));
+}
+
+TEST(FailpointTest, RangeFiresInclusive) {
+  ScopedFaults scope;
+  FaultSpec spec;
+  spec.hit_from = 2;
+  spec.hit_to = 3;
+  Arm("test.site", spec);
+  EXPECT_EQ(Drive("test.site", 4), (std::vector<int>{0, EIO, EIO, 0}));
+}
+
+TEST(FailpointTest, RearmResetsTheHitCounter) {
+  ScopedFaults scope;
+  FaultSpec spec;
+  spec.hit_from = 1;
+  spec.hit_to = 1;
+  Arm("test.site", spec);
+  EXPECT_EQ(Drive("test.site", 2), (std::vector<int>{EIO, 0}));
+  Arm("test.site", spec);  // counter back to zero: the 1st hit fires again
+  EXPECT_EQ(Inject("test.site"), EIO);
+}
+
+TEST(FailpointTest, DisarmStopsInjection) {
+  ScopedFaults scope;
+  Arm("test.site", FaultSpec{});
+  EXPECT_EQ(Inject("test.site"), EIO);
+  Disarm("test.site");
+  EXPECT_EQ(Inject("test.site"), 0);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST(FailpointTest, ProbabilisticTriggerIsDeterministicPerSeed) {
+  ScopedFaults scope;
+  FaultSpec spec;
+  spec.one_in = 3;
+  spec.seed = 42;
+  Arm("test.site", spec);
+  const std::vector<int> first = Drive("test.site", 64);
+  // Re-arm (resets the hit counter): the exact same decisions replay.
+  Arm("test.site", spec);
+  EXPECT_EQ(Drive("test.site", 64), first);
+  // Roughly 1-in-3 over 64 hits — loose sanity bounds, not statistics:
+  // determinism above is the real contract.
+  int fired = 0;
+  for (int e : first) fired += (e != 0);
+  EXPECT_GT(fired, 4);
+  EXPECT_LT(fired, 60);
+  // A different seed gives a different (still deterministic) schedule.
+  spec.seed = 43;
+  Arm("test.site", spec);
+  EXPECT_NE(Drive("test.site", 64), first);
+}
+
+TEST(FailpointTest, ArmFromConfigFullGrammar) {
+  ScopedFaults scope;
+  ASSERT_TRUE(ArmFromConfig("a=err@2;b=enospc*2;c=eintr@2+;d=eagain@2-3;"
+                            "e=err%5(seed=7);f=enoent;g=eacces@1")
+                  .ok());
+  EXPECT_EQ(Drive("a", 3), (std::vector<int>{0, EIO, 0}));
+  EXPECT_EQ(Drive("b", 3), (std::vector<int>{ENOSPC, ENOSPC, 0}));
+  EXPECT_EQ(Drive("c", 3), (std::vector<int>{0, EINTR, EINTR}));
+  EXPECT_EQ(Drive("d", 4), (std::vector<int>{0, EAGAIN, EAGAIN, 0}));
+  EXPECT_EQ(Drive("f", 2), (std::vector<int>{ENOENT, ENOENT}));
+  EXPECT_EQ(Inject("g"), EACCES);
+  // 'e' is probabilistic: every injected value must be EIO.
+  for (int e : Drive("e", 32)) EXPECT_TRUE(e == 0 || e == EIO);
+}
+
+TEST(FailpointTest, MalformedConfigRejectsAndArmsNothing) {
+  ScopedFaults scope;
+  for (const char* bad :
+       {"noequals", "site=", "site=unknownaction", "site=err@",
+        "site=err@x", "site=err*", "site=err%0", "site=err@3-2",
+        "site=err%5(seed=)", "site=err%5(seed=7", "=err",
+        "good=err;bad"}) {
+    Status s = ArmFromConfig(bad);
+    EXPECT_FALSE(s.ok()) << "accepted: " << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    // All-or-nothing: a bad spec in a list must not arm the good ones.
+    EXPECT_FALSE(AnyArmed()) << "armed something from: " << bad;
+  }
+}
+
+TEST(FailpointTest, ScopedFaultsRestoresTheOuterSchedule) {
+  ScopedFaults outer_guard;
+  Arm("outer.site", FaultSpec{});
+  EXPECT_EQ(Inject("outer.site"), EIO);
+  {
+    ScopedFaults inner;
+    // The outer arming is invisible inside the scope...
+    EXPECT_FALSE(AnyArmed());
+    EXPECT_EQ(Inject("outer.site"), 0);
+    Arm("inner.site", FaultSpec{});
+    EXPECT_EQ(Inject("inner.site"), EIO);
+  }
+  // ...and restored (with its hit count) when the scope ends.
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_EQ(Inject("outer.site"), EIO);
+  EXPECT_EQ(Inject("inner.site"), 0);
+  EXPECT_EQ(Hits("outer.site"), 2u);
+}
+
+TEST(FailpointTest, CountAllEnumeratesDisarmedSites) {
+  ScopedFaults scope;
+  SetCountAll(true);
+  EXPECT_TRUE(AnyArmed());  // observation keeps the slow path on
+  EXPECT_EQ(Inject("walk.a"), 0);  // counted, never fails
+  EXPECT_EQ(Inject("walk.b"), 0);
+  EXPECT_EQ(Inject("walk.b"), 0);
+  const auto sites = CountedSites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], (std::pair<std::string, uint64_t>{"walk.a", 1}));
+  EXPECT_EQ(sites[1], (std::pair<std::string, uint64_t>{"walk.b", 2}));
+  SetCountAll(false);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST(FailpointDeathTest, KillActionExitsWithTheKillCode) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ScopedFaults scope;
+        FaultSpec spec;
+        spec.action = FaultSpec::Action::kKill;
+        spec.hit_from = 2;
+        spec.hit_to = 2;
+        Arm("kill.site", spec);
+        Inject("kill.site");  // hit 1: survives
+        Inject("kill.site");  // hit 2: _exit(42), no return
+        ::exit(0);            // unreachable — wrong exit code if hit
+      },
+      ::testing::ExitedWithCode(kKillExitCode), "");
+}
+
+}  // namespace
+}  // namespace kf::fault

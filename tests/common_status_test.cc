@@ -1,5 +1,6 @@
 #include "common/status.h"
 
+#include <cerrno>
 #include <memory>
 #include <set>
 #include <string>
@@ -7,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace kf {
 namespace {
@@ -105,6 +107,95 @@ TEST(ResultTest, ValueOrOnErrorDoesNotTouchValue) {
   Result<std::string> r(Status::OutOfRange("past the end"));
   EXPECT_EQ(r.value_or("fallback"), "fallback");
   EXPECT_EQ(r.status().message(), "past the end");
+}
+
+TEST(StatusTest, FromErrnoFormatsAndRetainsTheErrno) {
+  Status s = Status::FromErrno("write", "/tmp/x", ENOSPC);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.raw_errno(), ENOSPC);
+  // "<op> <path>: <strerror>" — both the operation and the path survive.
+  EXPECT_NE(s.message().find("write /tmp/x: "), std::string::npos);
+  EXPECT_NE(s.message().find("No space"), std::string::npos);
+
+  // The two-argument form reads the live errno.
+  errno = ENOENT;
+  Status live = Status::FromErrno("open", "gone.bin");
+  EXPECT_EQ(live.raw_errno(), ENOENT);
+}
+
+TEST(StatusTest, RawErrnoDefaultsToZero) {
+  EXPECT_EQ(Status::OK().raw_errno(), 0);
+  EXPECT_EQ(Status::IOError("no errno here").raw_errno(), 0);
+}
+
+TEST(StatusTest, IsTransientIOErrorClassifies) {
+  for (int e : {EINTR, EAGAIN, ENOSPC}) {
+    EXPECT_TRUE(IsTransientIOError(Status::FromErrno("op", "p", e))) << e;
+  }
+  for (int e : {EIO, ENOENT, EACCES, EBADF}) {
+    EXPECT_FALSE(IsTransientIOError(Status::FromErrno("op", "p", e))) << e;
+  }
+  // No retained errno (or no error at all) is never transient.
+  EXPECT_FALSE(IsTransientIOError(Status::OK()));
+  EXPECT_FALSE(IsTransientIOError(Status::IOError("plain")));
+}
+
+TEST(RetryTest, SucceedsWithoutRetryOnFirstOk) {
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RetryTransient(RetryPolicy{}, &retries, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  RetryPolicy fast;
+  fast.initial_backoff_us = 1;
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RetryTransient(fast, &retries, [&]() -> Status {
+    if (++calls < 3) return Status::FromErrno("write", "p", EINTR);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, NonTransientFailsImmediately) {
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RetryTransient(RetryPolicy{}, &retries, [&] {
+    ++calls;
+    return Status::FromErrno("open", "p", EACCES);
+  });
+  EXPECT_EQ(s.raw_errno(), EACCES);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, ExhaustsThePolicyAndReturnsTheLastError) {
+  RetryPolicy fast;
+  fast.max_attempts = 3;
+  fast.initial_backoff_us = 1;
+  uint64_t retries = 5;  // counter accumulates across calls
+  int calls = 0;
+  Status s = RetryTransient(fast, &retries, [&] {
+    ++calls;
+    return Status::FromErrno("write", "p", ENOSPC);
+  });
+  EXPECT_EQ(s.raw_errno(), ENOSPC);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 7u);
+
+  // A null counter is allowed.
+  EXPECT_FALSE(RetryTransient(fast, nullptr, [&] {
+                 return Status::FromErrno("write", "p", EAGAIN);
+               }).ok());
 }
 
 TEST(StatusDeathTest, CheckOkAbortsOnError) {

@@ -41,7 +41,9 @@ class RegistryTest : public ::testing::Test {
     if (with_gold) ctx.gold = labels_;
     if (with_hierarchy) ctx.hierarchy = &corpus_->world.hierarchy;
     KF_CHECK_OK((*fuser)->ValidateContext(corpus_->dataset, options, ctx));
-    return (*fuser)->Run(corpus_->dataset, options, ctx);
+    Result<FusionResult> result = (*fuser)->Run(corpus_->dataset, options, ctx);
+    KF_CHECK_OK(result.status());
+    return std::move(result).value();
   }
 
   static void ExpectBitIdentical(const FusionResult& a,

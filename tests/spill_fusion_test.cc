@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "eval/gold_standard.h"
 #include "extract/tsv_io.h"
 #include "fusion/engine.h"
@@ -124,7 +125,9 @@ Capture RunBudgeted(const extract::ExtractionDataset& dataset,
   ctx.gold = gold;
   KF_CHECK_OK(fuser->ValidateContext(dataset, opts, ctx));
   Capture c;
-  c.result = fuser->Run(dataset, opts, ctx);
+  Result<FusionResult> run = fuser->Run(dataset, opts, ctx);
+  KF_CHECK_OK(run.status());
+  c.result = std::move(run).value();
   c.accuracies = fuser->engine()->provenance_accuracy();
   c.prov_claims = fuser->engine()->provenance_claims();
   return c;
@@ -207,6 +210,10 @@ TEST(SpillFusionTest, GoldInitializedBitIdentical) {
 // ---- budget accounting ------------------------------------------------
 
 TEST(SpillFusionTest, HighWaterStaysWithinThePlan) {
+  // The CI fault matrix re-runs this suite under KF_FAULT schedules; the
+  // bit-identity tests must hold there (recovery is transparent), but
+  // exact file/byte counters legitimately shift when faults fire.
+  if (fault::AnyArmed()) GTEST_SKIP() << "stats-exact; fault schedule armed";
   const auto& dataset = GetWorkload().corpus.dataset;
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 8;
@@ -217,7 +224,7 @@ TEST(SpillFusionTest, HighWaterStaysWithinThePlan) {
   std::unique_ptr<fusion::Fuser> fuser = MakeOutOfCoreFuser(Method::kPopAccu);
   fusion::FuseContext ctx;
   KF_CHECK_OK(fuser->ValidateContext(dataset, opts, ctx));
-  fuser->Run(dataset, opts, ctx);
+  KF_CHECK_OK(fuser->Run(dataset, opts, ctx).status());
   auto* intro = dynamic_cast<OutOfCoreIntrospection*>(fuser.get());
   ASSERT_NE(intro, nullptr);
   const SpillPlan& plan = intro->spill_plan();
@@ -233,6 +240,7 @@ TEST(SpillFusionTest, HighWaterStaysWithinThePlan) {
 }
 
 TEST(SpillFusionTest, UnconstrainedBudgetSpillsNothingDuringRounds) {
+  if (fault::AnyArmed()) GTEST_SKIP() << "stats-exact; fault schedule armed";
   const auto& dataset = GetWorkload().corpus.dataset;
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 8;
@@ -241,7 +249,7 @@ TEST(SpillFusionTest, UnconstrainedBudgetSpillsNothingDuringRounds) {
   std::unique_ptr<fusion::Fuser> fuser = MakeOutOfCoreFuser(Method::kPopAccu);
   fusion::FuseContext ctx;
   KF_CHECK_OK(fuser->ValidateContext(dataset, opts, ctx));
-  fuser->Run(dataset, opts, ctx);
+  KF_CHECK_OK(fuser->Run(dataset, opts, ctx).status());
   auto* intro = dynamic_cast<OutOfCoreIntrospection*>(fuser.get());
   ASSERT_NE(intro, nullptr);
   // One subset holds everything; the round loop never evicts. The only
@@ -267,7 +275,7 @@ TEST(SpillFusionTest, WarmRefuseBitIdenticalToResident) {
   std::unique_ptr<fusion::Fuser> ref_fuser = std::move(*created);
   fusion::FuseContext ctx;
   opts.num_workers = 1;
-  ref_fuser->Run(resident, opts, ctx);
+  KF_CHECK_OK(ref_fuser->Run(resident, opts, ctx).status());
   KF_CHECK_OK(resident.Append(ReinternTail(src, base, &resident)));
   auto ref_warm = ref_fuser->Refuse(resident);
   ASSERT_TRUE(ref_warm.ok());
@@ -282,7 +290,7 @@ TEST(SpillFusionTest, WarmRefuseBitIdenticalToResident) {
     bopts.memory_budget_bytes = OneBudget(g);
     std::unique_ptr<fusion::Fuser> fuser = MakeOutOfCoreFuser(Method::kPopAccu);
     KF_CHECK_OK(fuser->ValidateContext(budgeted, bopts, ctx));
-    fuser->Run(budgeted, bopts, ctx);
+    KF_CHECK_OK(fuser->Run(budgeted, bopts, ctx).status());
     KF_CHECK_OK(budgeted.Append(ReinternTail(src, base, &budgeted)));
     auto warm = fuser->Refuse(budgeted);
     ASSERT_TRUE(warm.ok());
@@ -389,6 +397,9 @@ TEST(SpillFusionTest, UncreatableSpillDirIsACleanStatus) {
 }
 
 TEST(SpillFusionTest, ManagerRemovesItsOwnedTempDir) {
+  // Bare manager, no rematerialize hook: armed spill faults would turn
+  // into hard Statuses here by design — not this test's subject.
+  if (fault::AnyArmed()) GTEST_SKIP() << "no recovery hook; faults armed";
   const auto& dataset = GetWorkload().corpus.dataset;
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 8;
@@ -416,6 +427,7 @@ TEST(SpillFusionTest, ManagerRemovesItsOwnedTempDir) {
 // ---- MapAll + MergeTo: the bundle export ------------------------------
 
 TEST(SpillFusionTest, MergeToWritesAReadableBundle) {
+  if (fault::AnyArmed()) GTEST_SKIP() << "no recovery hook; faults armed";
   const auto& dataset = GetWorkload().corpus.dataset;
   FusionOptions opts = FusionOptions::PopAccu();
   opts.num_shards = 8;
